@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact at the quick (compressed)
+setting, asserts the paper's *shape* on the outcome, and reports the
+wall-clock cost through pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+collect_ignore_glob: list[str] = []

@@ -1,0 +1,137 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation flips one design knob and checks the expected direction,
+quantifying why the default is what it is:
+
+* danger/safe thresholds (the paper's own per-deployment sweep);
+* the heuristic ladder (paper Figure 2c vs the measured Pareto frontier);
+* the lookup-table learning-rate schedule (fixed alpha vs decay);
+* guided exploration during exploitation (epsilon on/off);
+* the migration penalty (the cost asymmetry driving the paper's story).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hipster import HipsterParams, hipster_in
+from repro.hardware.juno import juno_r1
+from repro.loadgen.diurnal import DiurnalTrace
+from repro.policies.octopusman import OctopusMan
+from repro.sim.engine import EngineConfig, run_experiment
+from repro.workloads.memcached import memcached
+from repro.workloads.websearch import websearch
+
+_TRACE_S = 420.0
+_LEARN_S = 150.0
+
+
+def _run(workload, manager, *, seed=5, engine_config=None):
+    platform = juno_r1()
+    trace = DiurnalTrace(duration_s=_TRACE_S, seed=11)
+    return run_experiment(
+        platform, workload, trace, manager, seed=seed, engine_config=engine_config
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_thresholds(benchmark):
+    """A too-wide safe zone makes the Octopus-Man controller oscillate."""
+
+    def sweep():
+        tight = _run(memcached(), OctopusMan(qos_safe=0.30))
+        loose = _run(memcached(), OctopusMan(qos_safe=0.60))
+        return tight, loose
+
+    tight, loose = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert loose.migration_events() > tight.migration_events()
+    assert loose.qos_guarantee() < tight.qos_guarantee()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_ladder(benchmark):
+    """The paper's Figure 2c ladder must not be worse than the Pareto
+    ladder for Web-Search, whose best high-load state (big-only at max
+    DVFS) the Pareto frontier cannot express."""
+    from repro.core.heuristic import HipsterHeuristicPolicy, pareto_ladder
+    from repro.policies.octopusman import LadderStateMachine
+
+    class ParetoHeuristic(HipsterHeuristicPolicy):
+        def start(self, ctx):
+            super().start(ctx)
+            self._machine = LadderStateMachine(
+                ladder=pareto_ladder(ctx.platform),
+                qos_danger=self._machine.qos_danger,
+                qos_safe=self._machine.qos_safe,
+            )
+
+    def sweep():
+        paper = _run(websearch(), HipsterHeuristicPolicy())
+        pareto = _run(websearch(), ParetoHeuristic())
+        return paper, pareto
+
+    paper, pareto = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert paper.qos_guarantee() >= pareto.qos_guarantee() - 0.03
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_alpha_schedule(benchmark):
+    """The decaying learning rate must not lose QoS versus fixed alpha
+    (it exists to remove the fixed schedule's recency bias)."""
+
+    def sweep():
+        decay = _run(
+            websearch(),
+            hipster_in(
+                HipsterParams(learning_duration_s=_LEARN_S, alpha_schedule="decay")
+            ),
+        )
+        fixed = _run(
+            websearch(),
+            hipster_in(
+                HipsterParams(learning_duration_s=_LEARN_S, alpha_schedule="fixed")
+            ),
+        )
+        return decay, fixed
+
+    decay, fixed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert decay.qos_guarantee() >= fixed.qos_guarantee() - 0.05
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_exploration(benchmark):
+    """Guided exploration costs a bounded amount of QoS and must never
+    lose energy-efficiency ground against no exploration."""
+
+    def sweep():
+        explore = _run(
+            memcached(),
+            hipster_in(HipsterParams(learning_duration_s=_LEARN_S, epsilon=0.04)),
+        )
+        greedy = _run(
+            memcached(),
+            hipster_in(HipsterParams(learning_duration_s=_LEARN_S, epsilon=0.0)),
+        )
+        return explore, greedy
+
+    explore, greedy = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert explore.qos_guarantee() > greedy.qos_guarantee() - 0.06
+    assert explore.mean_power_w() < greedy.mean_power_w() * 1.05
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_migration_penalty(benchmark):
+    """Without migration costs the oscillating baseline looks artificially
+    good -- the cost asymmetry is what the paper's argument rests on."""
+
+    def sweep():
+        with_cost = _run(memcached(), OctopusMan(qos_safe=0.45))
+        free = _run(
+            memcached(),
+            OctopusMan(qos_safe=0.45),
+            engine_config=EngineConfig(migration_penalty_s=0.0),
+        )
+        return with_cost, free
+
+    with_cost, free = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert free.qos_guarantee() >= with_cost.qos_guarantee()

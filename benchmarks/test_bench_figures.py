@@ -1,0 +1,106 @@
+"""Benchmarks regenerating every figure of the paper's evaluation.
+
+Each benchmark runs the figure's quick setting once per iteration and
+asserts the figure's qualitative claim, so the suite doubles as a
+reproduction smoke test with timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig01_diurnal_power,
+    fig02_efficiency,
+    fig05_heuristic_traces,
+    fig06_hipsterin_memcached,
+    fig07_hipsterin_websearch,
+    fig08_load_ramp,
+    fig09_learning_time,
+    fig10_bucket_size,
+    fig11_collocation,
+)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig01_diurnal_power(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig01_diurnal_power.run(quick=True), rounds=1, iterations=1
+    )
+    assert result.min_power_percent > 50.0  # energy-proportionality gap
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig02_memcached(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig02_efficiency.run("memcached", quick=True), rounds=1, iterations=1
+    )
+    assert result.mean_efficiency_gain() >= 1.0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig02_websearch(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig02_efficiency.run("websearch", quick=True), rounds=1, iterations=1
+    )
+    assert result.mean_efficiency_gain() >= 1.0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig05_memcached(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig05_heuristic_traces.run("memcached", quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mixed_config_intervals("hipster-heuristic") > 0
+    assert result.mixed_config_intervals("octopus-man") == 0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig06_hipsterin_memcached(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig06_hipsterin_memcached.run(quick=True), rounds=1, iterations=1
+    )
+    assert result.result.qos_guarantee() > 0.75
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig07_hipsterin_websearch(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig07_hipsterin_websearch.run(quick=True), rounds=1, iterations=1
+    )
+    assert result.exploitation.qos_guarantee() > result.learning.qos_guarantee() - 0.02
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig08_load_ramp(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig08_load_ramp.run(quick=True), rounds=1, iterations=1
+    )
+    assert result.tardiness_ratio() > 1.0  # paper: HipsterIn 3.7x lower
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig09_learning_time(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig09_learning_time.run(quick=True), rounds=1, iterations=1
+    )
+    assert result.late_improvement() > 0.0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_bucket_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_bucket_size.run(quick=True), rounds=1, iterations=1
+    )
+    assert all(row.energy_reduction_pct > 0 for row in result.rows)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig11_collocation(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_collocation.run(quick=True), rounds=1, iterations=1
+    )
+    assert result.mean_qos("hipster-co") > result.mean_qos("octopus-man")
+    assert result.mean_energy("hipster-co") < result.mean_energy("octopus-man")

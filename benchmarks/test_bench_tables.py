@@ -1,0 +1,52 @@
+"""Benchmarks regenerating the paper's tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig03_cross_state_machine,
+    table1_workloads,
+    table2_characterization,
+    table3_summary,
+)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_workloads(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_workloads.run(quick=True), rounds=1, iterations=1
+    )
+    assert all(row.edge_ok for row in result.rows)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_characterization(benchmark):
+    result = benchmark.pedantic(table2_characterization.run, rounds=3, iterations=1)
+    assert result.big.power_all_cores_w == pytest.approx(2.30, abs=0.01)
+    assert result.small.power_all_cores_w == pytest.approx(1.43, abs=0.01)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3_summary(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3_summary.run(quick=True), rounds=1, iterations=1
+    )
+    for workload in ("memcached", "websearch"):
+        assert result.get("static-small", workload).qos_guarantee_pct < 80.0
+        assert result.get("hipster-in", workload).energy_reduction_pct > 5.0
+
+
+@pytest.mark.benchmark(group="tables")
+def test_fig03_cross_state_machine(benchmark):
+    """Figure 3 rides on the Table/Figure-2 sweeps: benchmarked here with a
+    reduced load grid to keep the run bounded."""
+    loads = (0.25, 0.47, 0.69, 0.91)
+    result = benchmark.pedantic(
+        lambda: fig03_cross_state_machine.run(quick=True, loads=loads),
+        rounds=1,
+        iterations=1,
+    )
+    # Cross-applying a foreign state machine must cost efficiency somewhere.
+    losses = [result.worst_loss("memcached"), result.worst_loss("websearch")]
+    assert max(losses) > 0.02

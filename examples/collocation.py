@@ -1,0 +1,64 @@
+"""Collocation scenario: Web-Search sharing the box with batch jobs.
+
+Reproduces the paper's HipsterCo use case (Section 4.3): a
+latency-critical Web-Search instance gets exactly the resources it needs,
+while leftover cores run SPEC CPU2006-style batch programs at maximum
+DVFS.  Compares three managers on QoS, batch throughput and energy.
+
+Run with::
+
+    python examples/collocation.py [program]
+
+where ``program`` is one of the twelve SPEC CPU2006 names
+(default: calculix).
+"""
+
+import sys
+
+from repro import (
+    DiurnalTrace,
+    OctopusMan,
+    hipster_co,
+    juno_r1,
+    run_experiment,
+    spec_job_set,
+    static_all_big,
+    websearch,
+)
+
+
+def main(program: str = "calculix") -> None:
+    platform = juno_r1()
+    workload = websearch()
+    trace = DiurnalTrace(duration_s=600, seed=11)
+    jobs = spec_job_set(program)
+
+    runs = {}
+    managers = {
+        "static (LC on big, batch on small)": static_all_big(
+            platform, collocate_batch=True
+        ),
+        "octopus-man": OctopusMan(collocate_batch=True),
+        "hipster-co": hipster_co(),
+    }
+    for name, manager in managers.items():
+        runs[name] = run_experiment(
+            platform, workload, trace, manager, batch_jobs=jobs, seed=1
+        )
+
+    static = runs["static (LC on big, batch on small)"]
+    print(f"Web-Search + {program} on ARM Juno R1 ({len(static)} intervals)\n")
+    header = f"{'manager':38s} {'QoS':>7s} {'batch IPS':>11s} {'energy':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name, result in runs.items():
+        print(
+            f"{name:38s} {result.qos_guarantee() * 100:6.1f}% "
+            f"{result.batch_mean_ips() / static.batch_mean_ips():10.2f}x "
+            f"{result.total_energy_j() / static.total_energy_j():7.2f}x"
+        )
+    print("\n(batch IPS and energy normalized to the static mapping)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "calculix")

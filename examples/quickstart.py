@@ -1,0 +1,48 @@
+"""Quickstart: run HipsterIn on Memcached over a compressed diurnal day.
+
+This is the smallest end-to-end use of the library: build the calibrated
+Juno R1 platform, pick a workload and a load trace, run a task manager,
+and read the QoS/energy summary.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    DiurnalTrace,
+    hipster_in,
+    juno_r1,
+    memcached,
+    run_experiment,
+    static_all_big,
+)
+
+def main() -> None:
+    platform = juno_r1()
+    workload = memcached()
+    trace = DiurnalTrace(duration_s=600, seed=11)
+
+    # The energy reference: both big cores pinned at maximum DVFS.
+    baseline = run_experiment(
+        platform, workload, trace, static_all_big(platform), seed=1
+    )
+
+    # HipsterIn: heuristic-guided learning, then Q-table exploitation.
+    manager = hipster_in()
+    result = run_experiment(platform, workload, trace, manager, seed=1)
+
+    print(f"workload:        {workload.name} (p95 <= {workload.target_latency_ms} ms)")
+    print(f"QoS guarantee:   {result.qos_guarantee() * 100:.1f}%")
+    print(f"QoS tardiness:   {result.qos_tardiness():.2f}")
+    print(f"mean power:      {result.mean_power_w():.2f} W "
+          f"(static-big: {baseline.mean_power_w():.2f} W)")
+    print(f"energy saved:    {result.energy_reduction_vs(baseline) * 100:.1f}%")
+    print(f"migrations:      {result.migration_events()}")
+    print(f"manager phase:   {manager.phase.value} "
+          f"({manager.phase_switches} switches, "
+          f"{len(manager.table)} lookup-table entries)")
+
+
+if __name__ == "__main__":
+    main()

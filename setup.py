@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim enables the legacy ``pip install -e . --no-use-pep517
+--no-build-isolation`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""Reproduction of *Hipster: Hybrid Task Manager for Latency-Critical
+Cloud Workloads* (Nishtala, Carpenter, Petrucci, Martorell -- HPCA 2017).
+
+The package is organized as the paper's system plus everything it runs on:
+
+* :mod:`repro.hardware` -- a calibrated model of the ARM Juno R1 board;
+* :mod:`repro.workloads` -- Memcached / Web-Search service models and
+  SPEC CPU2006 batch program models;
+* :mod:`repro.loadgen` -- diurnal / ramp / spike load traces;
+* :mod:`repro.sim` -- the queueing substrate and interval co-simulator;
+* :mod:`repro.core` -- Hipster itself (heuristic mapper + Q-learning);
+* :mod:`repro.policies` -- Octopus-Man and static baselines;
+* :mod:`repro.metrics` -- QoS guarantee / tardiness / energy summaries;
+* :mod:`repro.experiments` -- one module per paper table and figure.
+
+Quickstart::
+
+    from repro import (juno_r1, memcached, DiurnalTrace, hipster_in,
+                       run_experiment)
+
+    platform = juno_r1()
+    result = run_experiment(platform, memcached(),
+                            DiurnalTrace(duration_s=600), hipster_in())
+    print(result.qos_guarantee(), result.mean_power_w())
+"""
+
+from repro.core import (
+    Hipster,
+    HipsterHeuristicPolicy,
+    HipsterParams,
+    Variant,
+    hipster_co,
+    hipster_in,
+)
+from repro.hardware import Configuration, juno_r1
+from repro.loadgen import (
+    ConcatTrace,
+    ConstantTrace,
+    DiurnalTrace,
+    LoadTrace,
+    RampTrace,
+    SpikeTrace,
+    StepTrace,
+)
+from repro.policies import (
+    OctopusMan,
+    StaticPolicy,
+    TaskManager,
+    static_all_big,
+    static_all_small,
+)
+from repro.sim import ExperimentResult, IntervalSimulator, run_experiment
+from repro.workloads import (
+    BatchJobSet,
+    BatchProgram,
+    LatencyCriticalWorkload,
+    memcached,
+    spec_job_set,
+    spec_mix,
+    websearch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchJobSet",
+    "ConcatTrace",
+    "BatchProgram",
+    "Configuration",
+    "ConstantTrace",
+    "DiurnalTrace",
+    "ExperimentResult",
+    "Hipster",
+    "HipsterHeuristicPolicy",
+    "HipsterParams",
+    "IntervalSimulator",
+    "LatencyCriticalWorkload",
+    "LoadTrace",
+    "OctopusMan",
+    "RampTrace",
+    "SpikeTrace",
+    "StaticPolicy",
+    "StepTrace",
+    "TaskManager",
+    "Variant",
+    "hipster_co",
+    "hipster_in",
+    "juno_r1",
+    "memcached",
+    "run_experiment",
+    "spec_job_set",
+    "spec_mix",
+    "static_all_big",
+    "static_all_small",
+    "websearch",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    hipster-repro table2
+    hipster-repro fig2 --workload websearch
+    hipster-repro fig11 --quick --seed 7
+    hipster-repro calibrate
+    hipster-repro all --quick
+
+``--quick`` compresses run lengths (CI-friendly); without it the runs
+match the paper's durations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.calibration import calibrate_demand
+from repro.experiments.runner import DEFAULT_SEED
+from repro.hardware.juno import juno_r1
+from repro.workloads.memcached import memcached
+from repro.workloads.websearch import websearch
+
+_WORKLOAD_EXPERIMENTS = {"fig2", "fig5"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="hipster-repro",
+        description="Reproduce tables and figures from the Hipster paper (HPCA 2017).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["calibrate", "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=["memcached", "websearch"],
+        default="memcached",
+        help="workload for per-workload experiments (fig2, fig5)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="compressed run lengths (CI-friendly)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="experiment seed"
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    module = EXPERIMENTS[name]
+    kwargs: dict[str, object] = {"quick": args.quick}
+    if name in _WORKLOAD_EXPERIMENTS:
+        result = module.run(args.workload, quick=args.quick, seed=args.seed)
+    elif name == "table2":
+        result = module.run(quick=args.quick)
+    else:
+        result = module.run(quick=args.quick, seed=args.seed)
+    del kwargs
+    return result.render()
+
+
+def _run_calibration() -> str:
+    platform = juno_r1()
+    lines = ["Calibration (Table 1 methodology):"]
+    for workload in (memcached(), websearch()):
+        outcome = calibrate_demand(platform, workload)
+        lines.append(
+            f"  {outcome.workload_name}: demand_mean_ms={outcome.demand_mean_ms:.5f} "
+            f"edge_tail={outcome.edge_tail_ms:.2f} ms "
+            f"(target {outcome.target_ms:.0f} ms, error {outcome.relative_error:.1%})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "calibrate":
+        print(_run_calibration())
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            print(f"\n=== {name} ===")
+            print(_run_one(name, args))
+        return 0
+    print(_run_one(args.experiment, args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""The lookup table ``R(w, c)`` and its Q-learning update.
+
+The table estimates the total discounted reward of choosing configuration
+``c`` in load bucket ``w`` (Section 3.1).  The paper implements it as a
+Python dictionary for O(1) access (Section 3.7); so do we.  The update
+rule is Algorithm 1's line 16:
+
+    R(w_n, c_n) += alpha * (lambda_n + gamma * max_d R(w_n+1, d) - R(w_n, c_n))
+
+with learning rate ``alpha = 0.6`` and discount ``gamma = 0.9``
+(Section 3.4, empirically determined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Discount factor gamma (Section 3.4).
+DEFAULT_GAMMA = 0.9
+
+#: Learning rate alpha (Section 3.4).
+DEFAULT_ALPHA = 0.6
+
+
+@dataclass
+class LookupTable:
+    """``R(w, c)`` over (load bucket, configuration index).
+
+    ``n_actions`` is the size of the configuration space; action indices
+    are the caller's concern (Hipster uses the index into its enumerated
+    configuration tuple).
+    """
+
+    n_actions: int
+    alpha: float = DEFAULT_ALPHA
+    gamma: float = DEFAULT_GAMMA
+    alpha_schedule: str = "fixed"
+    alpha_min: float = 0.10
+    _table: dict[tuple[int, int], float] = field(default_factory=dict)
+    _visits: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_actions <= 0:
+            raise ValueError("n_actions must be positive")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be within (0, 1]")
+        if not 0.0 <= self.gamma < 1.0:
+            raise ValueError("gamma must be within [0, 1)")
+        if self.alpha_schedule not in ("fixed", "decay"):
+            raise ValueError("alpha_schedule must be 'fixed' or 'decay'")
+        if not 0.0 < self.alpha_min <= 1.0:
+            raise ValueError("alpha_min must be within (0, 1]")
+
+    def value(self, state: int, action: int) -> float:
+        """``R(w, c)``; unvisited entries are 0 (Algorithm 2, line 4)."""
+        self._check(state, action)
+        return self._table.get((state, action), 0.0)
+
+    def visited(self, state: int, action: int) -> bool:
+        """Whether the entry has ever been updated."""
+        self._check(state, action)
+        return (state, action) in self._table
+
+    def state_visited(self, state: int) -> bool:
+        """Whether any action has been tried in this state."""
+        if state < 0:
+            raise ValueError("state must be non-negative")
+        return any((state, a) in self._table for a in range(self.n_actions))
+
+    def best_action(
+        self, state: int, *, tie_break: Iterable[int] | None = None
+    ) -> tuple[int, float]:
+        """``argmax_c R(w, c)`` with its value (Algorithm 2, line 7).
+
+        Unvisited entries count as 0, exactly as in the paper.  Ties are
+        broken by ``tie_break`` order (e.g. the heuristic ladder, so equal
+        scores prefer lower-power configurations) or by index.
+        """
+        order = list(tie_break) if tie_break is not None else range(self.n_actions)
+        best_action, best_value = None, float("-inf")
+        for action in order:
+            self._check(state, action)
+            value = self.value(state, action)
+            if value > best_value:
+                best_action, best_value = action, value
+        assert best_action is not None
+        return best_action, best_value
+
+    def max_value(self, state: int) -> float:
+        """``max_d R(w, d)`` -- the bootstrap term of the update."""
+        return max(self.value(state, a) for a in range(self.n_actions))
+
+    def update(
+        self, state: int, action: int, reward: float, next_state: int
+    ) -> float:
+        """Apply Algorithm 1's line 16; returns the new ``R(w, c)``."""
+        self._check(state, action)
+        self._check(next_state, 0)
+        old = self.value(state, action)
+        alpha = self._effective_alpha(state, action)
+        new = old + alpha * (
+            reward + self.gamma * self.max_value(next_state) - old
+        )
+        self._table[(state, action)] = new
+        self._visits[(state, action)] = self._visits.get((state, action), 0) + 1
+        return new
+
+    def _effective_alpha(self, state: int, action: int) -> float:
+        """Learning rate for the next update of an entry.
+
+        ``fixed`` is the paper's constant alpha.  ``decay`` uses the
+        stochastic-approximation schedule ``1 / (n + 1) ** 0.6`` floored
+        at ``alpha_min``: the first visit of an entry jumps directly to
+        its bootstrap target (eliminating stale values from earlier in
+        the run, when the value scale was still growing), and subsequent
+        visits average measurement noise away while the floor preserves
+        adaptivity to drift.
+        """
+        if self.alpha_schedule == "fixed":
+            return self.alpha
+        n = self._visits.get((state, action), 0)
+        return max(self.alpha_min, 1.0 / (n + 1) ** 0.6)
+
+    def visit_count(self, state: int, action: int) -> int:
+        """How many times the entry has been updated."""
+        self._check(state, action)
+        return self._visits.get((state, action), 0)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def snapshot(self) -> dict[tuple[int, int], float]:
+        """A copy of the populated entries (for inspection/tests)."""
+        return dict(self._table)
+
+    def _check(self, state: int, action: int) -> None:
+        if state < 0:
+            raise ValueError("state must be non-negative")
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action must be within [0, {self.n_actions})")

@@ -1,0 +1,138 @@
+"""Max-load calibration: the paper's Table 1 methodology, reproduced.
+
+The paper chooses each workload's maximum load as the highest load at
+which the platform meets the tail target when running on the two big cores
+at maximum DVFS.  We hold the published maximum loads fixed (36 kRPS,
+44 QPS) and instead calibrate the *service demand* of the workload model
+until ``2B-1.15`` at 100% load sits exactly at the edge of the target --
+the same operating point, approached from the model side.
+
+"At the edge" is made precise as: the 95th percentile of per-interval tail
+latencies equals the target, i.e. ~5% of monitoring intervals violate at
+full load.  That leaves the static-big policy with the ~99.5% QoS
+guarantee the paper's Table 3 reports over a diurnal trace (which rarely
+touches 100%), while any sustained overload is promptly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.soc import Platform
+from repro.loadgen.traces import ConstantTrace
+from repro.policies.static import static_all_big
+from repro.sim.engine import run_experiment
+from repro.workloads.base import LatencyCriticalWorkload
+
+#: Quantile of per-interval tails pinned to the target at 100% load.
+EDGE_QUANTILE = 0.95
+
+#: Acceptable relative deviation when re-validating frozen constants.
+VALIDATION_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a demand calibration run."""
+
+    workload_name: str
+    demand_mean_ms: float
+    edge_tail_ms: float
+    target_ms: float
+    iterations: int
+
+    @property
+    def relative_error(self) -> float:
+        """Relative distance of the edge tail from the target."""
+        return abs(self.edge_tail_ms - self.target_ms) / self.target_ms
+
+
+def edge_tail_ms(
+    platform: Platform,
+    workload: LatencyCriticalWorkload,
+    *,
+    duration_s: float = 240.0,
+    seed: int = 2017,
+    quantile: float = EDGE_QUANTILE,
+) -> float:
+    """The ``quantile`` of per-interval tails at 100% load on ``2B-max``."""
+    result = run_experiment(
+        platform,
+        workload,
+        ConstantTrace(1.0, duration_s),
+        static_all_big(platform),
+        seed=seed,
+    )
+    return float(np.quantile(result.tails_ms, quantile))
+
+
+def calibrate_demand(
+    platform: Platform,
+    workload: LatencyCriticalWorkload,
+    *,
+    duration_s: float = 240.0,
+    seed: int = 2017,
+    iterations: int = 18,
+) -> CalibrationResult:
+    """Bisect the mean service demand until 100% load sits at the edge.
+
+    The edge tail is monotone in the demand mean (more work per request
+    means more queueing at the same arrival rate), so bisection over a
+    generous bracket converges quickly.
+    """
+    target = workload.target_latency_ms
+    lo = workload.demand_mean_ms * 0.25
+    hi = workload.demand_mean_ms * 4.0
+    mid = workload.demand_mean_ms
+    for _ in range(iterations):
+        mid = float(np.sqrt(lo * hi))  # geometric: demand spans decades
+        candidate = workload.with_overrides(demand_mean_ms=mid)
+        tail = edge_tail_ms(
+            platform, candidate, duration_s=duration_s, seed=seed
+        )
+        if tail > target:
+            hi = mid
+        else:
+            lo = mid
+    calibrated = workload.with_overrides(demand_mean_ms=mid)
+    achieved = edge_tail_ms(platform, calibrated, duration_s=duration_s, seed=seed + 1)
+    return CalibrationResult(
+        workload_name=workload.name,
+        demand_mean_ms=mid,
+        edge_tail_ms=achieved,
+        target_ms=target,
+        iterations=iterations,
+    )
+
+
+def validate_frozen_calibration(
+    platform: Platform,
+    workload: LatencyCriticalWorkload,
+    *,
+    duration_s: float = 240.0,
+    seed: int = 99,
+    tolerance: float = VALIDATION_TOLERANCE,
+) -> CalibrationResult:
+    """Check that a workload's frozen constants still sit at the edge.
+
+    Raises ``ValueError`` when the edge tail drifted further than
+    ``tolerance`` from the target -- the signal that the frozen
+    ``demand_mean_ms`` no longer matches the platform model.
+    """
+    achieved = edge_tail_ms(platform, workload, duration_s=duration_s, seed=seed)
+    result = CalibrationResult(
+        workload_name=workload.name,
+        demand_mean_ms=workload.demand_mean_ms,
+        edge_tail_ms=achieved,
+        target_ms=workload.target_latency_ms,
+        iterations=0,
+    )
+    if result.relative_error > tolerance:
+        raise ValueError(
+            f"{workload.name}: edge tail {achieved:.2f} ms is more than "
+            f"{tolerance:.0%} away from the {result.target_ms:.2f} ms target; "
+            "re-run repro.experiments.calibration.calibrate_demand"
+        )
+    return result

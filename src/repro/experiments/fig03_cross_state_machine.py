@@ -1,0 +1,192 @@
+"""Figure 3: efficiency lost when using the *other* workload's state machine.
+
+The paper's point: the per-load optimal configuration mapping (Figure 2c)
+is workload-specific.  Running Memcached with Web-Search's mapping (and
+vice versa) forfeits up to ~35% energy efficiency at some load levels,
+which motivates learning the mapping online instead of hard-coding one.
+
+Methodology here: build both state machines with the Figure 2 sweep; at
+each load level, evaluate the workload under its own winning
+configuration and under the other workload's winner (escalating along the
+other machine if that configuration violates QoS, as its danger-zone
+controller would), and report the efficiency ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.fig02_efficiency import (
+    PAPER_LOAD_LEVELS,
+    Fig2Result,
+    run as run_fig2,
+)
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import DEFAULT_SEED, workload_by_name
+from repro.hardware.juno import juno_r1
+from repro.hardware.soc import KernelConfig
+from repro.hardware.topology import config_by_label, enumerate_configurations
+from repro.loadgen.traces import ConstantTrace
+from repro.policies.static import StaticPolicy
+from repro.sim.engine import run_experiment
+
+
+@dataclass(frozen=True)
+class CrossRow:
+    """One load level: own vs foreign efficiency for one workload."""
+
+    load: float
+    own_config: str
+    foreign_config: str
+    efficiency_ratio: float  # foreign / own; < 1 means efficiency lost
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Normalized cross-machine efficiency for both workloads."""
+
+    memcached_rows: tuple[CrossRow, ...]
+    websearch_rows: tuple[CrossRow, ...]
+
+    def worst_loss(self, workload_name: str) -> float:
+        """Largest efficiency loss (1 - ratio) for a workload."""
+        rows = (
+            self.memcached_rows if workload_name == "memcached" else self.websearch_rows
+        )
+        if not rows:
+            return 0.0
+        return max(1.0 - row.efficiency_ratio for row in rows)
+
+    def render(self) -> str:
+        blocks = []
+        for name, rows in (
+            ("memcached", self.memcached_rows),
+            ("websearch", self.websearch_rows),
+        ):
+            table = ascii_table(
+                ["load", "own config", "foreign config", "normalized efficiency"],
+                [
+                    [
+                        f"{r.load * 100:.0f}%",
+                        r.own_config,
+                        r.foreign_config,
+                        f"{r.efficiency_ratio:.2f}",
+                    ]
+                    for r in rows
+                ],
+                title=(
+                    f"Figure 3 -- {name} under the other workload's state machine "
+                    f"(worst loss {self.worst_loss(name) * 100:.0f}%)"
+                ),
+            )
+            blocks.append(table)
+        return "\n\n".join(blocks)
+
+
+def _evaluate(
+    platform, workload, load: float, config, *, duration_s: float, seed: int
+) -> tuple[float, bool]:
+    """(throughput per watt, QoS met) for a config at a steady load."""
+    result = run_experiment(
+        platform,
+        workload,
+        ConstantTrace(load, duration_s),
+        StaticPolicy(config),
+        kernel=KernelConfig(cpuidle_enabled=True),
+        seed=seed,
+    )
+    power = result.mean_power_w()
+    return float(np.mean(result.arrival_rps)) / power, result.qos_guarantee() >= 0.9
+
+
+def _cross_rows(
+    platform,
+    workload,
+    own: Fig2Result,
+    foreign: Fig2Result,
+    *,
+    duration_s: float,
+    seed: int,
+) -> tuple[CrossRow, ...]:
+    space = enumerate_configurations(platform, max_total_cores=4)
+    foreign_machine = [c for c in foreign.hetcmp if c is not None]
+    rows = []
+    for own_choice, foreign_choice in zip(own.hetcmp, foreign.hetcmp):
+        if own_choice is None or foreign_choice is None:
+            continue
+        load = own_choice.load
+        own_eff, _ = _evaluate(
+            platform,
+            workload,
+            load,
+            config_by_label(space, own_choice.config_label),
+            duration_s=duration_s,
+            seed=seed,
+        )
+        # Walk up the foreign machine until QoS is met, as its danger-zone
+        # controller would after a violation.
+        start = next(
+            i
+            for i, c in enumerate(foreign_machine)
+            if c.config_label == foreign_choice.config_label
+        )
+        foreign_eff = 0.0
+        foreign_label = foreign_choice.config_label
+        for candidate in foreign_machine[start:]:
+            eff, met = _evaluate(
+                platform,
+                workload,
+                load,
+                config_by_label(space, candidate.config_label),
+                duration_s=duration_s,
+                seed=seed,
+            )
+            foreign_eff, foreign_label = eff, candidate.config_label
+            if met:
+                break
+        rows.append(
+            CrossRow(
+                load=load,
+                own_config=own_choice.config_label,
+                foreign_config=foreign_label,
+                efficiency_ratio=foreign_eff / own_eff if own_eff > 0 else 0.0,
+            )
+        )
+    return tuple(rows)
+
+
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    loads: tuple[float, ...] = PAPER_LOAD_LEVELS,
+) -> Fig3Result:
+    """Regenerate Figure 3 from fresh Figure 2 sweeps."""
+    platform = juno_r1()
+    duration = 20.0 if quick else 40.0
+    mc = run_fig2("memcached", quick=quick, seed=seed, loads=loads)
+    ws = run_fig2("websearch", quick=quick, seed=seed, loads=loads)
+    return Fig3Result(
+        memcached_rows=_cross_rows(
+            platform,
+            workload_by_name("memcached"),
+            mc,
+            ws,
+            duration_s=duration,
+            seed=seed,
+        ),
+        websearch_rows=_cross_rows(
+            platform,
+            workload_by_name("websearch"),
+            ws,
+            mc,
+            duration_s=duration,
+            seed=seed,
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(quick=True).render())

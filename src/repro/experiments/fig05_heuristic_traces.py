@@ -1,0 +1,107 @@
+"""Figure 5: static vs Octopus-Man vs Hipster's heuristic, trace view.
+
+For each workload, runs the three heuristic-family policies over the
+diurnal day and reports the four panels the paper plots per policy: tail
+latency, throughput, DVFS, and core mapping -- plus the headline summary
+(static violates least, the heuristics oscillate and violate more while
+saving energy, and Hipster's heuristic explores configurations
+Octopus-Man cannot reach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.heuristic import HipsterHeuristicPolicy
+from repro.experiments.reporting import ascii_table, series_block
+from repro.experiments.runner import DEFAULT_SEED, diurnal_for, workload_by_name
+from repro.hardware.juno import juno_r1
+from repro.metrics.summary import PolicySummary, summarize
+from repro.policies.octopusman import OctopusMan
+from repro.policies.static import static_all_big
+from repro.sim.engine import run_experiment
+from repro.sim.records import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Traces and summaries for one workload's three policies."""
+
+    workload_name: str
+    runs: dict[str, ExperimentResult]
+    summaries: dict[str, PolicySummary]
+
+    def mixed_config_intervals(self, policy: str) -> int:
+        """Intervals where the policy used big *and* small cores at once.
+
+        Octopus-Man can never produce these; Hipster's heuristic does --
+        the paper's Figure 5 bottom panels.
+        """
+        return sum(
+            1
+            for o in self.runs[policy]
+            if o.decision.config.n_big > 0 and o.decision.config.n_small > 0
+        )
+
+    def distinct_big_freqs(self, policy: str) -> int:
+        """DVFS points the policy actually used on the big cluster."""
+        return len({o.big_freq_ghz for o in self.runs[policy]})
+
+    def render(self) -> str:
+        blocks = [f"Figure 5 -- heuristic policies on {self.workload_name}"]
+        for name, run_result in self.runs.items():
+            blocks.append(f"\n--- {name} ---")
+            blocks.append(series_block("tail latency (ms)", run_result.tails_ms))
+            blocks.append(series_block("throughput (rps)", run_result.arrival_rps))
+            blocks.append(
+                series_block(
+                    "big DVFS (GHz)",
+                    [o.big_freq_ghz for o in run_result],
+                )
+            )
+            blocks.append(
+                series_block(
+                    "LC cores", [o.decision.config.total_cores for o in run_result]
+                )
+            )
+        blocks.append("")
+        blocks.append(
+            ascii_table(
+                ["policy", "QoS %", "migrations", "mixed-config intervals", "DVFS pts"],
+                [
+                    [
+                        name,
+                        f"{s.qos_guarantee_pct:.1f}",
+                        s.migration_events,
+                        self.mixed_config_intervals(name),
+                        self.distinct_big_freqs(name),
+                    ]
+                    for name, s in self.summaries.items()
+                ],
+            )
+        )
+        return "\n".join(blocks)
+
+
+def run(
+    workload_name: str = "memcached", *, quick: bool = False, seed: int = DEFAULT_SEED
+) -> Fig5Result:
+    """Regenerate one row of Figure 5."""
+    platform = juno_r1()
+    workload = workload_by_name(workload_name)
+    trace = diurnal_for(workload, quick=quick)
+    managers = {
+        "static-big": static_all_big(platform),
+        "octopus-man": OctopusMan(),
+        "hipster-heuristic": HipsterHeuristicPolicy(),
+    }
+    runs = {
+        name: run_experiment(platform, workload, trace, manager, seed=seed)
+        for name, manager in managers.items()
+    }
+    summaries = {name: summarize(result) for name, result in runs.items()}
+    return Fig5Result(workload_name=workload_name, runs=runs, summaries=summaries)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run("memcached", quick=True).render())

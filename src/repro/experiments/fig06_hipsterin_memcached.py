@@ -1,0 +1,121 @@
+"""Figure 6: HipsterIn running Memcached over the diurnal day.
+
+The paper's observation: after the learning phase, core-mapping
+oscillation drops and the QoS guarantee improves compared to the learning
+phase -- HipsterIn jumps directly to the right configuration per load and
+leans on cheap DVFS changes instead of costly migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hipster import Hipster
+from repro.experiments.reporting import ascii_table, series_block
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    diurnal_for,
+    hipster_in_for,
+    learning_seconds,
+    workload_by_name,
+)
+from repro.hardware.juno import juno_r1
+from repro.sim.engine import run_experiment
+from repro.sim.records import ExperimentResult
+
+WORKLOAD_NAME = "memcached"
+
+
+@dataclass(frozen=True)
+class HipsterTraceResult:
+    """A HipsterIn run split at the end of the (first) learning phase."""
+
+    workload_name: str
+    result: ExperimentResult
+    learning_s: float
+    phase_switches: int
+
+    @property
+    def learning(self) -> ExperimentResult:
+        return self.result.slice(0.0, self.learning_s)
+
+    @property
+    def exploitation(self) -> ExperimentResult:
+        return self.result.slice(self.learning_s)
+
+    def qos_improvement(self) -> float:
+        """Exploitation-over-learning QoS guarantee gain (fractional)."""
+        learn = self.learning.qos_guarantee()
+        exploit = self.exploitation.qos_guarantee()
+        if learn == 0:
+            return float("inf")
+        return exploit / learn - 1.0
+
+    def migration_rate_drop(self) -> float:
+        """Learning-to-exploitation reduction in migrations per interval."""
+        learn = self.learning.migration_events() / max(len(self.learning), 1)
+        exploit = self.exploitation.migration_events() / max(len(self.exploitation), 1)
+        if learn == 0:
+            return 0.0
+        return 1.0 - exploit / learn
+
+    def render(self) -> str:
+        result = self.result
+        return "\n".join(
+            [
+                f"Figure 6/7 -- HipsterIn on {self.workload_name}",
+                series_block("tail latency (ms)", result.tails_ms),
+                series_block("throughput (rps)", result.arrival_rps),
+                series_block("big DVFS (GHz)", [o.big_freq_ghz for o in result]),
+                series_block(
+                    "LC cores", [o.decision.config.total_cores for o in result]
+                ),
+                ascii_table(
+                    ["metric", "learning", "exploitation"],
+                    [
+                        [
+                            "QoS guarantee",
+                            f"{self.learning.qos_guarantee() * 100:.1f}%",
+                            f"{self.exploitation.qos_guarantee() * 100:.1f}%",
+                        ],
+                        [
+                            "migrations/interval",
+                            f"{self.learning.migration_events() / max(len(self.learning), 1):.3f}",
+                            f"{self.exploitation.migration_events() / max(len(self.exploitation), 1):.3f}",
+                        ],
+                        [
+                            "mean power (W)",
+                            f"{self.learning.mean_power_w():.2f}",
+                            f"{self.exploitation.mean_power_w():.2f}",
+                        ],
+                    ],
+                ),
+            ]
+        )
+
+
+def run_hipster_trace(
+    workload_name: str, *, quick: bool = False, seed: int = DEFAULT_SEED
+) -> HipsterTraceResult:
+    """Shared driver for Figures 6 and 7."""
+    platform = juno_r1()
+    workload = workload_by_name(workload_name)
+    trace = diurnal_for(workload, quick=quick)
+    manager = hipster_in_for(quick=quick)
+    result = run_experiment(platform, workload, trace, manager, seed=seed)
+    assert isinstance(manager, Hipster)
+    return HipsterTraceResult(
+        workload_name=workload_name,
+        result=result,
+        learning_s=learning_seconds(quick=quick),
+        phase_switches=manager.phase_switches,
+    )
+
+
+def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> HipsterTraceResult:
+    """Regenerate Figure 6."""
+    return run_hipster_trace(WORKLOAD_NAME, quick=quick, seed=seed)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(quick=True).render())

@@ -1,0 +1,96 @@
+"""Figure 10: impact of the load-bucket size on QoS and energy savings.
+
+Small buckets give fine-grained control (more energy saved) but react to
+noise with rapid configuration changes (more QoS violations); large
+buckets are stable but lump distinct loads together.  The paper sweeps
+{3, 6, 9}% for Web-Search and {2, 3, 4}% for Memcached, normalizing both
+metrics to the static all-big mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.buckets import PAPER_BUCKET_SWEEP
+from repro.core.hipster import HipsterParams, hipster_in
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    diurnal_for,
+    learning_seconds,
+    workload_by_name,
+)
+from repro.hardware.juno import juno_r1
+from repro.policies.static import static_all_big
+from repro.sim.engine import run_experiment
+
+
+@dataclass(frozen=True)
+class BucketRow:
+    """Outcome of one bucket size on one workload."""
+
+    workload_name: str
+    bucket_size: float
+    qos_violations_pct: float
+    energy_reduction_pct: float
+    migration_events: int
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """The full bucket-size sweep for both workloads."""
+
+    rows: tuple[BucketRow, ...]
+
+    def rows_for(self, workload_name: str) -> tuple[BucketRow, ...]:
+        return tuple(r for r in self.rows if r.workload_name == workload_name)
+
+    def render(self) -> str:
+        return ascii_table(
+            ["workload", "bucket", "QoS violations", "energy saved", "migrations"],
+            [
+                [
+                    r.workload_name,
+                    f"{r.bucket_size * 100:.0f}%",
+                    f"{r.qos_violations_pct:.1f}%",
+                    f"{r.energy_reduction_pct:.1f}%",
+                    r.migration_events,
+                ]
+                for r in self.rows
+            ],
+            title="Figure 10 -- bucket-size sweep (normalized to static all-big)",
+        )
+
+
+def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Fig10Result:
+    """Regenerate Figure 10."""
+    platform = juno_r1()
+    rows: list[BucketRow] = []
+    for workload_name, sweep in PAPER_BUCKET_SWEEP.items():
+        workload = workload_by_name(workload_name)
+        trace = diurnal_for(workload, quick=quick)
+        baseline = run_experiment(
+            platform, workload, trace, static_all_big(platform), seed=seed
+        )
+        for bucket_size in sweep:
+            manager = hipster_in(
+                HipsterParams(
+                    bucket_size=bucket_size,
+                    learning_duration_s=learning_seconds(quick=quick),
+                )
+            )
+            result = run_experiment(platform, workload, trace, manager, seed=seed)
+            rows.append(
+                BucketRow(
+                    workload_name=workload_name,
+                    bucket_size=bucket_size,
+                    qos_violations_pct=(1.0 - result.qos_guarantee()) * 100.0,
+                    energy_reduction_pct=result.energy_reduction_vs(baseline) * 100.0,
+                    migration_events=result.migration_events(),
+                )
+            )
+    return Fig10Result(rows=tuple(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(quick=True).render())

@@ -1,0 +1,87 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Every experiment accepts a ``quick`` flag: the full setting mirrors the
+paper's run lengths (1400 s Memcached / 1000 s Web-Search diurnal days),
+while quick runs compress the day so the benchmark suite stays fast.  All
+experiments are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.heuristic import HipsterHeuristicPolicy
+from repro.core.hipster import HipsterParams, hipster_in
+from repro.hardware.soc import Platform
+from repro.loadgen.diurnal import DiurnalTrace
+from repro.policies.base import TaskManager
+from repro.policies.octopusman import OctopusMan
+from repro.policies.static import static_all_big, static_all_small
+from repro.workloads.base import LatencyCriticalWorkload
+from repro.workloads.memcached import memcached
+from repro.workloads.websearch import websearch
+
+#: Paper run lengths: Figures 5/6 span ~1400 s for Memcached and ~1000 s
+#: for Web-Search.
+FULL_DURATION_S = {"memcached": 1400.0, "websearch": 1000.0}
+QUICK_DURATION_S = {"memcached": 420.0, "websearch": 360.0}
+
+#: Learning-phase length (Section 4.1): 500 s, 200 s in Figure 9.
+FULL_LEARNING_S = 500.0
+QUICK_LEARNING_S = 150.0
+
+DEFAULT_SEED = 2017
+
+
+def workload_by_name(name: str) -> LatencyCriticalWorkload:
+    """Construct one of the paper's two workloads by name."""
+    factories = {"memcached": memcached, "websearch": websearch}
+    try:
+        return factories[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(factories)}"
+        ) from None
+
+
+def diurnal_for(
+    workload: LatencyCriticalWorkload, *, quick: bool = False, seed: int = 11
+) -> DiurnalTrace:
+    """The workload's diurnal day at full or compressed length."""
+    table = QUICK_DURATION_S if quick else FULL_DURATION_S
+    return DiurnalTrace(duration_s=table[workload.name], seed=seed)
+
+
+def learning_seconds(*, quick: bool = False) -> float:
+    """Learning-phase duration matching the run length."""
+    return QUICK_LEARNING_S if quick else FULL_LEARNING_S
+
+
+def hipster_in_for(
+    *, quick: bool = False, learning_s: float | None = None, **overrides
+) -> TaskManager:
+    """A HipsterIn manager with run-length-appropriate learning phase."""
+    params = HipsterParams(
+        learning_duration_s=(
+            learning_s if learning_s is not None else learning_seconds(quick=quick)
+        ),
+        **overrides,
+    )
+    return hipster_in(params)
+
+
+@dataclass(frozen=True)
+class PolicySet:
+    """The Table 3 line-up for one run."""
+
+    quick: bool = False
+
+    def build(self, platform: Platform) -> dict[str, TaskManager]:
+        """Fresh manager instances, keyed by the paper's policy names."""
+        return {
+            "static-big": static_all_big(platform),
+            "static-small": static_all_small(platform),
+            "hipster-heuristic": HipsterHeuristicPolicy(),
+            "octopus-man": OctopusMan(),
+            "hipster-in": hipster_in_for(quick=self.quick),
+        }

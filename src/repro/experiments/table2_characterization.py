@@ -1,0 +1,76 @@
+"""Table 2: power and performance characterization of the Juno platform.
+
+Runs the compute stress microbenchmark over each cluster and reports the
+paper's table -- power and IPS for one core and for the whole cluster at
+maximum DVFS -- plus the derived efficiency claims the paper's text makes
+(a single big core is ~52% more IPS/W-efficient than a single small core;
+the small *cluster* is ~25% more efficient than the big cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import ascii_table
+from repro.hardware.juno import juno_r1
+from repro.hardware.microbench import CharacterizationRow, characterize_platform
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Both clusters' characterization rows."""
+
+    big: CharacterizationRow
+    small: CharacterizationRow
+
+    @property
+    def single_core_efficiency_gain(self) -> float:
+        """Big-over-small single-core IPS/W ratio (paper: ~1.52)."""
+        return self.big.efficiency_one_core / self.small.efficiency_one_core
+
+    @property
+    def cluster_efficiency_gain(self) -> float:
+        """Small-over-big full-cluster IPS/W ratio (paper: ~1.25)."""
+        return self.small.efficiency_all_cores / self.big.efficiency_all_cores
+
+    def render(self) -> str:
+        rows = []
+        for row in (self.big, self.small):
+            rows.append(
+                [
+                    f"{row.core_type} ({row.freq_ghz:.2f} GHz)",
+                    f"{row.power_all_cores_w:.2f}",
+                    f"{row.power_one_core_w:.2f}",
+                    f"{row.ips_all_cores / 1e6:,.0f}",
+                    f"{row.ips_one_core / 1e6:,.0f}",
+                ]
+            )
+        table = ascii_table(
+            ["core type", "P all (W)", "P one (W)", "MIPS all", "MIPS one"],
+            rows,
+            title="Table 2 -- Juno R1 power/performance characterization",
+        )
+        derived = ascii_table(
+            ["claim", "value"],
+            [
+                [
+                    "single big core IPS/W vs single small",
+                    f"{(self.single_core_efficiency_gain - 1) * 100:+.0f}%",
+                ],
+                [
+                    "small cluster IPS/W vs big cluster",
+                    f"{(self.cluster_efficiency_gain - 1) * 100:+.0f}%",
+                ],
+            ],
+        )
+        return table + "\n\n" + derived
+
+
+def run(*, quick: bool = False) -> Table2Result:
+    """Regenerate Table 2 (quick is accepted for interface symmetry)."""
+    big, small = characterize_platform(juno_r1())
+    return Table2Result(big=big, small=small)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run().render())

@@ -1,0 +1,84 @@
+"""Table 3: HipsterIn summary -- QoS, tardiness and energy per policy.
+
+Runs the five policies of the paper's Table 3 (static all-big, static
+all-small, Hipster's heuristic alone, Octopus-Man, HipsterIn) over the
+diurnal day for both workloads, reporting QoS guarantee, QoS tardiness,
+and energy reduction relative to static all-big.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    PolicySet,
+    diurnal_for,
+    workload_by_name,
+)
+from repro.hardware.juno import juno_r1
+from repro.metrics.summary import PolicySummary, summarize
+from repro.sim.engine import run_experiment
+
+#: Policy display order, as in the paper's table.
+POLICY_ORDER = (
+    "static-big",
+    "static-small",
+    "hipster-heuristic",
+    "octopus-man",
+    "hipster-in",
+)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Summaries for every (policy, workload) pair."""
+
+    summaries: dict[tuple[str, str], PolicySummary]
+
+    def get(self, policy: str, workload: str) -> PolicySummary:
+        return self.summaries[(policy, workload)]
+
+    def render(self) -> str:
+        rows = []
+        for policy in POLICY_ORDER:
+            for workload in ("memcached", "websearch"):
+                s = self.get(policy, workload)
+                rows.append(
+                    [
+                        policy,
+                        workload,
+                        f"{s.qos_guarantee_pct:.1f}%",
+                        f"{s.qos_tardiness:.2f}",
+                        f"{s.energy_reduction_pct:.1f}%",
+                        s.migration_events,
+                    ]
+                )
+        return ascii_table(
+            ["policy", "workload", "QoS guarantee", "tardiness", "energy saved", "migr"],
+            rows,
+            title="Table 3 -- policy summary over the diurnal day",
+        )
+
+
+def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Table3Result:
+    """Regenerate Table 3."""
+    platform = juno_r1()
+    summaries: dict[tuple[str, str], PolicySummary] = {}
+    for workload_name in ("memcached", "websearch"):
+        workload = workload_by_name(workload_name)
+        trace = diurnal_for(workload, quick=quick)
+        managers = PolicySet(quick=quick).build(platform)
+        baseline = run_experiment(
+            platform, workload, trace, managers.pop("static-big"), seed=seed
+        )
+        summaries[("static-big", workload_name)] = summarize(baseline)
+        for name, manager in managers.items():
+            result = run_experiment(platform, workload, trace, manager, seed=seed)
+            summaries[(name, workload_name)] = summarize(result, baseline)
+    return Table3Result(summaries=summaries)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(quick=True).render())

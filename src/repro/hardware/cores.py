@@ -1,0 +1,248 @@
+"""Core and cluster descriptions for heterogeneous big.LITTLE platforms.
+
+The paper evaluates Hipster on an ARM Juno R1 board with two out-of-order
+Cortex-A57 ("big") cores and four in-order Cortex-A53 ("small") cores.  This
+module provides the generic building blocks (:class:`CoreType`,
+:class:`Cluster`) from which :mod:`repro.hardware.juno` assembles the
+calibrated platform model.
+
+Power follows the classic CMOS decomposition: each cluster has a static
+(leakage) component that scales with supply voltage, and each active core has
+a dynamic component scaling with ``f * V^2`` and with utilization.  All
+constants are calibrated against Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class CoreKind(str, enum.Enum):
+    """Kind of core in a big.LITTLE system."""
+
+    BIG = "big"
+    SMALL = "small"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """Static description of one microarchitecture (e.g. Cortex-A57).
+
+    Parameters
+    ----------
+    name:
+        Human readable microarchitecture name.
+    kind:
+        Whether this is the big or the small core type.
+    microbench_ipc:
+        Instructions per cycle achieved by the compute stress microbenchmark
+        used in the paper's Section 3.3 / Table 2 characterization.
+    freqs_ghz:
+        Available DVFS operating points, ascending.
+    voltage_by_freq:
+        Normalized supply voltage at each operating point (1.0 at the
+        highest frequency).
+    core_dynamic_w:
+        Dynamic power of one fully-utilized core at the highest operating
+        point, in watts.
+    idle_fraction:
+        Fraction of the dynamic power burned by an idle (but not
+        power-gated) core, modelling clock tree and pipeline front-end
+        activity when ``cpuidle`` is disabled.
+    """
+
+    name: str
+    kind: CoreKind
+    microbench_ipc: float
+    freqs_ghz: tuple[float, ...]
+    voltage_by_freq: Mapping[float, float]
+    core_dynamic_w: float
+    idle_fraction: float = 0.30
+
+    def __post_init__(self) -> None:
+        if not self.freqs_ghz:
+            raise ValueError("a core type needs at least one DVFS point")
+        if tuple(sorted(self.freqs_ghz)) != tuple(self.freqs_ghz):
+            raise ValueError("freqs_ghz must be sorted ascending")
+        missing = [f for f in self.freqs_ghz if f not in self.voltage_by_freq]
+        if missing:
+            raise ValueError(f"missing voltage for operating points {missing}")
+        if self.microbench_ipc <= 0:
+            raise ValueError("microbench_ipc must be positive")
+        if self.core_dynamic_w < 0:
+            raise ValueError("core_dynamic_w must be non-negative")
+        if not 0.0 <= self.idle_fraction <= 1.0:
+            raise ValueError("idle_fraction must be within [0, 1]")
+
+    @property
+    def max_freq_ghz(self) -> float:
+        """Highest available operating point in GHz."""
+        return self.freqs_ghz[-1]
+
+    @property
+    def min_freq_ghz(self) -> float:
+        """Lowest available operating point in GHz."""
+        return self.freqs_ghz[0]
+
+    def validate_freq(self, freq_ghz: float) -> float:
+        """Return ``freq_ghz`` if it is a valid operating point, else raise."""
+        if freq_ghz not in self.voltage_by_freq:
+            raise ValueError(
+                f"{freq_ghz} GHz is not an operating point of {self.name}; "
+                f"available: {list(self.freqs_ghz)}"
+            )
+        return freq_ghz
+
+    def voltage(self, freq_ghz: float) -> float:
+        """Normalized supply voltage at the given operating point."""
+        self.validate_freq(freq_ghz)
+        return self.voltage_by_freq[freq_ghz]
+
+    def dynamic_power_w(self, freq_ghz: float, utilization: float) -> float:
+        """Dynamic power of one core at ``freq_ghz`` and given utilization.
+
+        Power scales as ``f * V^2``; an idle core still burns
+        ``idle_fraction`` of the fully-utilized dynamic power (unless it is
+        power-gated, which is the power model's concern, not the core's).
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be within [0, 1], got {utilization}")
+        v = self.voltage(freq_ghz)
+        scale = (freq_ghz / self.max_freq_ghz) * v * v
+        activity = self.idle_fraction + (1.0 - self.idle_fraction) * utilization
+        return self.core_dynamic_w * scale * activity
+
+    def microbench_ips(self, freq_ghz: float, utilization: float = 1.0) -> float:
+        """Instructions per second for the stress microbenchmark.
+
+        The microbenchmark is pure compute (no memory accesses), so IPS is
+        simply ``IPC * f`` scaled by utilization.
+        """
+        self.validate_freq(freq_ghz)
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be within [0, 1], got {utilization}")
+        return self.microbench_ipc * freq_ghz * 1e9 * utilization
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A group of identical cores sharing an L2 cache and a DVFS domain.
+
+    On Juno the two A57s form the big cluster (shared 2 MB L2) and the four
+    A53s form the small cluster (shared 1 MB L2); each cluster is a single
+    voltage/frequency domain, so a DVFS change applies to every core in the
+    cluster -- including batch jobs collocated there, a detail the paper
+    leans on in Section 4.3.
+    """
+
+    name: str
+    core_type: CoreType
+    n_cores: int
+    l2_kb: int
+    static_power_w: float
+    core_id_prefix: str = ""
+    smp_efficiency: float = 1.0
+    core_ids: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("a cluster needs at least one core")
+        if self.static_power_w < 0:
+            raise ValueError("static_power_w must be non-negative")
+        if not 0.0 < self.smp_efficiency <= 1.0:
+            raise ValueError("smp_efficiency must be within (0, 1]")
+        prefix = self.core_id_prefix or self.name[:1].upper()
+        object.__setattr__(
+            self, "core_ids", tuple(f"{prefix}{i}" for i in range(self.n_cores))
+        )
+
+    @property
+    def kind(self) -> CoreKind:
+        """Kind (big/small) of the cores in this cluster."""
+        return self.core_type.kind
+
+    @property
+    def max_freq_ghz(self) -> float:
+        """Highest operating point of the cluster's DVFS domain."""
+        return self.core_type.max_freq_ghz
+
+    @property
+    def min_freq_ghz(self) -> float:
+        """Lowest operating point of the cluster's DVFS domain."""
+        return self.core_type.min_freq_ghz
+
+    def static_power(self, freq_ghz: float) -> float:
+        """Leakage power of the cluster at the given operating point.
+
+        Leakage scales roughly linearly with supply voltage in the small
+        voltage range spanned by the Juno operating points.
+        """
+        return self.static_power_w * self.core_type.voltage(freq_ghz)
+
+    def power_w(
+        self,
+        freq_ghz: float,
+        utilizations: Mapping[str, float],
+        *,
+        power_gate_idle: bool = False,
+    ) -> float:
+        """Total cluster power for one monitoring interval.
+
+        Parameters
+        ----------
+        freq_ghz:
+            Operating point of the cluster's shared DVFS domain.
+        utilizations:
+            Mapping from core id to utilization in ``[0, 1]``.  Cores not
+            present are idle.
+        power_gate_idle:
+            When true (``cpuidle`` enabled), idle cores are power-gated and
+            consume (almost) no dynamic power; otherwise they burn the core
+            type's ``idle_fraction``.
+        """
+        unknown = set(utilizations) - set(self.core_ids)
+        if unknown:
+            raise ValueError(f"unknown core ids for cluster {self.name}: {sorted(unknown)}")
+        total = self.static_power(freq_ghz)
+        for core_id in self.core_ids:
+            util = utilizations.get(core_id, 0.0)
+            if util == 0.0 and power_gate_idle:
+                continue
+            total += self.core_type.dynamic_power_w(freq_ghz, util)
+        return total
+
+    def max_power_w(self, freq_ghz: float | None = None) -> float:
+        """Cluster power with every core fully utilized."""
+        freq = self.max_freq_ghz if freq_ghz is None else freq_ghz
+        utils = {core_id: 1.0 for core_id in self.core_ids}
+        return self.power_w(freq, utils)
+
+    def aggregate_microbench_ips(self, freq_ghz: float, n_active: int) -> float:
+        """Aggregate microbenchmark IPS of ``n_active`` cores at ``freq_ghz``.
+
+        Running multiple cores in a cluster costs a small fraction of
+        per-core throughput (shared L2 and interconnect arbitration);
+        ``smp_efficiency`` captures it, calibrated against Table 2 of the
+        paper (e.g. 2x2138 MIPS single-core vs 4260 MIPS measured on the
+        big cluster).
+        """
+        if not 0 <= n_active <= self.n_cores:
+            raise ValueError(f"n_active must be within [0, {self.n_cores}]")
+        per_core = self.core_type.microbench_ips(freq_ghz)
+        if n_active <= 1:
+            return n_active * per_core
+        return n_active * per_core * self.smp_efficiency
+
+    def max_microbench_ips(self, freq_ghz: float | None = None) -> float:
+        """Aggregate microbenchmark IPS with every core fully utilized.
+
+        This is the ``maxIPS(B)`` / ``maxIPS(S)`` quantity used in the
+        denominator of HipsterCo's throughput reward (Algorithm 1, line 13).
+        """
+        freq = self.max_freq_ghz if freq_ghz is None else freq_ghz
+        return self.aggregate_microbench_ips(freq, self.n_cores)

@@ -1,0 +1,70 @@
+"""Hardware performance counters (``perf``-style per-core IPS).
+
+HipsterCo measures batch-workload throughput generically through per-core
+instruction counters (paper Section 3.2/3.7).  On Juno there is a known
+bug: whenever any core enters an idle state, ``perf`` returns garbage for
+*all* cores.  The paper works around it by disabling CPUidle; we model both
+the bug and the workaround so the implementation constraint is part of the
+reproduction (and is exercised by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.hardware.soc import KernelConfig, Platform
+
+#: Cores busier than this fraction of a cycle per cycle are "non-idle" for
+#: the purposes of the Juno idle-entry bug.
+_IDLE_UTIL_THRESHOLD = 1e-9
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """Samples per-core instructions-per-second, with the Juno quirk.
+
+    Parameters
+    ----------
+    platform:
+        The platform whose cores are being sampled.
+    kernel:
+        Kernel configuration; the Juno bug only manifests while CPUidle is
+        enabled, because only then do idle cores enter idle states.
+    juno_perf_bug:
+        Whether to model the hardware erratum at all (on by default for the
+        Juno platform).
+    """
+
+    platform: Platform
+    kernel: KernelConfig = KernelConfig()
+    juno_perf_bug: bool = True
+
+    def read(
+        self, true_ips: Mapping[str, float], rng: np.random.Generator
+    ) -> dict[str, float]:
+        """Read the ``instructions`` event for every core.
+
+        ``true_ips`` is the ground-truth instruction throughput per core
+        for the sampling interval (absent cores are idle).  If the bug
+        fires, every counter in the sample is garbage.
+        """
+        unknown = set(true_ips) - set(self.platform.core_ids)
+        if unknown:
+            raise ValueError(f"unknown core ids: {sorted(unknown)}")
+        sample = {
+            core_id: float(true_ips.get(core_id, 0.0))
+            for core_id in self.platform.core_ids
+        }
+        if self._bug_fires(sample):
+            return {
+                core_id: float(rng.uniform(0.0, 1e13)) for core_id in sample
+            }
+        return sample
+
+    def _bug_fires(self, sample: Mapping[str, float]) -> bool:
+        if not (self.juno_perf_bug and self.kernel.cpuidle_enabled):
+            return False
+        return any(ips <= _IDLE_UTIL_THRESHOLD for ips in sample.values())

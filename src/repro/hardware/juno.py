@@ -1,0 +1,111 @@
+"""Calibrated model of the ARM Juno R1 development board.
+
+All constants are derived from the paper's own characterization:
+
+* Table 2 — microbenchmark power and performance per core and per cluster
+  (2.30 W / 4260 MIPS for the big cluster, 1.43 W / 3298 MIPS for the small
+  cluster, including the system channel);
+* Section 4.1 — 0.76 W "rest of the system", big-cluster DVFS range
+  0.6-1.15 GHz, small cluster fixed at 0.65 GHz;
+* Section 4.1 hardware description — 2x Cortex-A57 with 2 MB shared L2,
+  4x Cortex-A53 with 1 MB shared L2.
+
+Working the Table 2 numbers backwards (system channel = 0.76 W):
+
+====================  ==========  =============  =======================
+quantity              big (A57)   small (A53)    from
+====================  ==========  =============  =======================
+per-core dynamic      0.68 W      0.16 W         (all-cores - one-core)/k
+cluster static        0.18 W      0.03 W         one-core - dynamic
+microbench IPC        1.859       1.271          one-core MIPS / freq
+SMP efficiency        0.99626     0.99818        all-cores / k*one-core
+====================  ==========  =============  =======================
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cores import CoreKind, CoreType, Cluster
+from repro.hardware.soc import Platform
+
+#: Power of memory controllers, interconnect and board logic (Section 4.1).
+REST_OF_SYSTEM_W = 0.76
+
+#: Big-cluster (Cortex-A57) operating points, GHz (Section 4.1).
+BIG_FREQS_GHZ = (0.60, 0.90, 1.15)
+
+#: Small-cluster (Cortex-A53) operating point, GHz — fixed on Juno R1.
+SMALL_FREQS_GHZ = (0.65,)
+
+#: Normalized supply voltage per operating point (1.0 at the top).
+BIG_VOLTAGE = {0.60: 0.80, 0.90: 0.90, 1.15: 1.00}
+SMALL_VOLTAGE = {0.65: 1.00}
+
+#: Table 2, worked backwards (see module docstring).
+BIG_CORE_DYNAMIC_W = 0.68
+BIG_CLUSTER_STATIC_W = 0.18
+SMALL_CORE_DYNAMIC_W = 0.16
+SMALL_CLUSTER_STATIC_W = 0.03
+
+#: Microbenchmark IPC: one-core MIPS / frequency (Table 2).
+BIG_MICROBENCH_IPC = 2138e6 / 1.15e9  # ~1.859
+SMALL_MICROBENCH_IPC = 826e6 / 0.65e9  # ~1.271
+
+#: Multi-core scaling efficiency: all-cores MIPS / (k * one-core MIPS).
+BIG_SMP_EFFICIENCY = 4260.0 / (2 * 2138.0)
+SMALL_SMP_EFFICIENCY = 3298.0 / (4 * 826.0)
+
+
+def cortex_a57() -> CoreType:
+    """The big, out-of-order core of Juno R1."""
+    return CoreType(
+        name="Cortex-A57",
+        kind=CoreKind.BIG,
+        microbench_ipc=BIG_MICROBENCH_IPC,
+        freqs_ghz=BIG_FREQS_GHZ,
+        voltage_by_freq=BIG_VOLTAGE,
+        core_dynamic_w=BIG_CORE_DYNAMIC_W,
+    )
+
+
+def cortex_a53() -> CoreType:
+    """The small, in-order core of Juno R1."""
+    return CoreType(
+        name="Cortex-A53",
+        kind=CoreKind.SMALL,
+        microbench_ipc=SMALL_MICROBENCH_IPC,
+        freqs_ghz=SMALL_FREQS_GHZ,
+        voltage_by_freq=SMALL_VOLTAGE,
+        core_dynamic_w=SMALL_CORE_DYNAMIC_W,
+    )
+
+
+def juno_r1() -> Platform:
+    """The ARM Juno R1 platform the paper evaluates on.
+
+    Two Cortex-A57 cores share a 2 MB L2 (one DVFS domain, 0.6-1.15 GHz);
+    four Cortex-A53 cores share a 1 MB L2 (fixed 0.65 GHz).
+    """
+    big = Cluster(
+        name="big",
+        core_type=cortex_a57(),
+        n_cores=2,
+        l2_kb=2048,
+        static_power_w=BIG_CLUSTER_STATIC_W,
+        core_id_prefix="B",
+        smp_efficiency=BIG_SMP_EFFICIENCY,
+    )
+    small = Cluster(
+        name="small",
+        core_type=cortex_a53(),
+        n_cores=4,
+        l2_kb=1024,
+        static_power_w=SMALL_CLUSTER_STATIC_W,
+        core_id_prefix="S",
+        smp_efficiency=SMALL_SMP_EFFICIENCY,
+    )
+    return Platform(
+        name="ARM Juno R1",
+        big=big,
+        small=small,
+        rest_of_system_w=REST_OF_SYSTEM_W,
+    )

@@ -1,0 +1,81 @@
+"""Stress-microbenchmark characterization (paper Section 3.3 / Table 2).
+
+The paper characterizes each core configuration with a compute-only
+microbenchmark ("mathematical operations without memory accesses") to (a)
+derive the heuristic mapper's state ordering and (b) produce Table 2's
+power/performance table.  Because the microbenchmark has no memory
+component, its behaviour on the simulated platform is fully determined by
+the core model, which makes the characterization a pure function of the
+platform description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cores import CoreKind
+from repro.hardware.power import PowerModel
+from repro.hardware.soc import KernelConfig, Platform
+
+
+@dataclass(frozen=True)
+class CharacterizationRow:
+    """One row of a Table 2-style characterization."""
+
+    core_type: str
+    kind: CoreKind
+    freq_ghz: float
+    power_all_cores_w: float
+    power_one_core_w: float
+    ips_all_cores: float
+    ips_one_core: float
+
+    @property
+    def efficiency_one_core(self) -> float:
+        """IPS per watt of a single busy core (system channel included)."""
+        return self.ips_one_core / self.power_one_core_w
+
+    @property
+    def efficiency_all_cores(self) -> float:
+        """IPS per watt of the fully busy cluster (system channel included)."""
+        return self.ips_all_cores / self.power_all_cores_w
+
+
+def characterize_cluster(
+    platform: Platform,
+    kind: CoreKind,
+    freq_ghz: float | None = None,
+    *,
+    kernel: KernelConfig | None = None,
+) -> CharacterizationRow:
+    """Run the stress microbenchmark over one cluster (Table 2 methodology).
+
+    Power is the cluster's own register plus the system channel; the other
+    cluster is idle with CPUidle enabled, so it is excluded from the figure
+    exactly as in the paper's table.
+    """
+    kernel = kernel or KernelConfig(cpuidle_enabled=True)
+    cluster = platform.cluster(kind)
+    freq = cluster.max_freq_ghz if freq_ghz is None else freq_ghz
+    model = PowerModel(platform, kernel)
+    return CharacterizationRow(
+        core_type=cluster.core_type.name,
+        kind=kind,
+        freq_ghz=freq,
+        power_all_cores_w=model.cluster_characterization_power_w(
+            kind, freq, cluster.n_cores
+        ),
+        power_one_core_w=model.cluster_characterization_power_w(kind, freq, 1),
+        ips_all_cores=cluster.aggregate_microbench_ips(freq, cluster.n_cores),
+        ips_one_core=cluster.aggregate_microbench_ips(freq, 1),
+    )
+
+
+def characterize_platform(
+    platform: Platform, *, kernel: KernelConfig | None = None
+) -> tuple[CharacterizationRow, CharacterizationRow]:
+    """Characterize both clusters at max DVFS: the paper's Table 2."""
+    return (
+        characterize_cluster(platform, CoreKind.BIG, kernel=kernel),
+        characterize_cluster(platform, CoreKind.SMALL, kernel=kernel),
+    )

@@ -1,0 +1,152 @@
+"""System power model and energy metering.
+
+The Juno board exposes per-channel power registers (big cluster, small
+cluster, and the rest of the system); the paper's QoS Monitor samples them
+once per monitoring interval.  :class:`PowerModel` computes the same three
+channels from the platform description plus per-core utilizations, and
+:class:`EnergyMeter` integrates them over time, mimicking the cumulative
+energy registers read by ARM's ``readenergy`` tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.hardware.cores import CoreKind
+from repro.hardware.soc import KernelConfig, Platform
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Instantaneous power split by measurement channel, watts."""
+
+    big_w: float
+    small_w: float
+    rest_w: float
+
+    @property
+    def total_w(self) -> float:
+        """System power: sum of both clusters and the rest of the system."""
+        return self.big_w + self.small_w + self.rest_w
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Computes per-channel power from frequencies and core utilizations."""
+
+    platform: Platform
+    kernel: KernelConfig = KernelConfig()
+
+    def breakdown(
+        self,
+        big_freq_ghz: float,
+        small_freq_ghz: float,
+        utilizations: Mapping[str, float],
+    ) -> PowerBreakdown:
+        """Per-channel power for one interval.
+
+        Parameters
+        ----------
+        big_freq_ghz, small_freq_ghz:
+            Current operating point of each cluster's DVFS domain.
+        utilizations:
+            Core id to utilization in ``[0, 1]``; absent cores are idle.
+            Idle cores are power-gated only when CPUidle is enabled.
+        """
+        platform = self.platform
+        gate = self.kernel.cpuidle_enabled
+        big_utils = {
+            cid: utilizations[cid] for cid in platform.big.core_ids if cid in utilizations
+        }
+        small_utils = {
+            cid: utilizations[cid]
+            for cid in platform.small.core_ids
+            if cid in utilizations
+        }
+        unknown = set(utilizations) - set(platform.core_ids)
+        if unknown:
+            raise ValueError(f"unknown core ids: {sorted(unknown)}")
+        return PowerBreakdown(
+            big_w=platform.big.power_w(big_freq_ghz, big_utils, power_gate_idle=gate),
+            small_w=platform.small.power_w(
+                small_freq_ghz, small_utils, power_gate_idle=gate
+            ),
+            rest_w=platform.rest_of_system_w,
+        )
+
+    def system_power_w(
+        self,
+        big_freq_ghz: float,
+        small_freq_ghz: float,
+        utilizations: Mapping[str, float],
+    ) -> float:
+        """Total system power in watts (sum of all three channels)."""
+        return self.breakdown(big_freq_ghz, small_freq_ghz, utilizations).total_w
+
+    def cluster_characterization_power_w(
+        self, kind: CoreKind, freq_ghz: float, n_active: int
+    ) -> float:
+        """Power reported by the paper's Table 2 methodology.
+
+        Table 2 runs the stress microbenchmark on ``n_active`` cores of one
+        cluster and reports that cluster's register plus the system
+        register (the other cluster is left out of the sum).
+        """
+        cluster = self.platform.cluster(kind)
+        if not 0 <= n_active <= cluster.n_cores:
+            raise ValueError(f"n_active must be within [0, {cluster.n_cores}]")
+        utils = {cid: 1.0 for cid in cluster.core_ids[:n_active]}
+        return (
+            cluster.power_w(freq_ghz, utils, power_gate_idle=self.kernel.cpuidle_enabled)
+            + self.platform.rest_of_system_w
+        )
+
+
+@dataclass
+class EnergyMeter:
+    """Cumulative per-channel energy, like Juno's energy registers.
+
+    ``read()`` returns monotonically increasing joule counters; experiments
+    difference successive reads, exactly as ``readenergy`` users do.
+    """
+
+    _big_j: float = field(init=False, default=0.0)
+    _small_j: float = field(init=False, default=0.0)
+    _rest_j: float = field(init=False, default=0.0)
+    _elapsed_s: float = field(init=False, default=0.0)
+
+    def record(self, breakdown: PowerBreakdown, duration_s: float) -> None:
+        """Integrate a constant power breakdown over ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        self._big_j += breakdown.big_w * duration_s
+        self._small_j += breakdown.small_w * duration_s
+        self._rest_j += breakdown.rest_w * duration_s
+        self._elapsed_s += duration_s
+
+    def read(self) -> dict[str, float]:
+        """Cumulative energy per channel, joules."""
+        return {
+            "big": self._big_j,
+            "small": self._small_j,
+            "sys": self._rest_j,
+            "total": self.total_j,
+        }
+
+    @property
+    def total_j(self) -> float:
+        """Total energy across all channels, joules."""
+        return self._big_j + self._small_j + self._rest_j
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total metered wall-clock time, seconds."""
+        return self._elapsed_s
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average system power over the metered period, watts."""
+        if self._elapsed_s == 0:
+            return 0.0
+        return self.total_j / self._elapsed_s

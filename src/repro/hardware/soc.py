@@ -1,0 +1,102 @@
+"""System-on-chip platform container.
+
+A :class:`Platform` bundles the big and small clusters with the
+"rest of the system" power (memory controllers, interconnect, I/O) that the
+paper measures through Juno's ``sys`` power register.  It also exposes the
+thermal design power (TDP) used by HipsterIn's power reward
+(Algorithm 1, line 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cores import Cluster, CoreKind
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Kernel-level knobs the paper interacts with.
+
+    ``cpuidle_enabled`` controls whether idle cores are power-gated.  The
+    paper (Section 3.7) disables CPUidle to work around a Juno bug where
+    ``perf`` returns garbage for all cores whenever any core enters an idle
+    state; we model both the bug and the workaround.
+    """
+
+    cpuidle_enabled: bool = True
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A two-cluster big.LITTLE platform.
+
+    Parameters
+    ----------
+    name:
+        Platform name, e.g. ``"ARM Juno R1"``.
+    big, small:
+        The two clusters.  ``big`` must contain :class:`CoreKind.BIG` cores
+        and ``small`` :class:`CoreKind.SMALL` cores.
+    rest_of_system_w:
+        Constant power of everything outside the clusters (DRAM
+        controllers, interconnect, board), watts.
+    """
+
+    name: str
+    big: Cluster
+    small: Cluster
+    rest_of_system_w: float
+    core_ids: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.big.kind is not CoreKind.BIG:
+            raise ValueError("'big' cluster must be built from big cores")
+        if self.small.kind is not CoreKind.SMALL:
+            raise ValueError("'small' cluster must be built from small cores")
+        if self.rest_of_system_w < 0:
+            raise ValueError("rest_of_system_w must be non-negative")
+        overlap = set(self.big.core_ids) & set(self.small.core_ids)
+        if overlap:
+            raise ValueError(f"core id collision between clusters: {sorted(overlap)}")
+        object.__setattr__(self, "core_ids", self.big.core_ids + self.small.core_ids)
+
+    @property
+    def clusters(self) -> tuple[Cluster, Cluster]:
+        """Both clusters, big first."""
+        return (self.big, self.small)
+
+    def cluster(self, kind: CoreKind | str) -> Cluster:
+        """Look up a cluster by :class:`CoreKind` (or its string value)."""
+        kind = CoreKind(kind)
+        return self.big if kind is CoreKind.BIG else self.small
+
+    def cluster_of(self, core_id: str) -> Cluster:
+        """Cluster that owns the given core id."""
+        if core_id in self.big.core_ids:
+            return self.big
+        if core_id in self.small.core_ids:
+            return self.small
+        raise KeyError(f"unknown core id {core_id!r}")
+
+    @property
+    def n_cores(self) -> int:
+        """Total number of cores across both clusters."""
+        return self.big.n_cores + self.small.n_cores
+
+    @property
+    def tdp_w(self) -> float:
+        """Thermal design power: peak power with everything fully busy.
+
+        Used as the numerator of HipsterIn's power reward
+        (``Power_reward = TDP / Power``, Algorithm 1 line 5).
+        """
+        return (
+            self.rest_of_system_w
+            + self.big.max_power_w()
+            + self.small.max_power_w()
+        )
+
+    def max_microbench_ips(self) -> float:
+        """``maxIPS(B) + maxIPS(S)``: denominator of the throughput reward."""
+        return self.big.max_microbench_ips() + self.small.max_microbench_ips()

@@ -1,0 +1,264 @@
+"""Core-mapping/DVFS configurations and the configuration space.
+
+A *configuration* in the paper is the pair (core mapping, DVFS setting)
+allocated to the latency-critical workload -- e.g. ``2B2S-0.90`` means two
+big cores and two small cores with the big cluster at 0.90 GHz (the small
+cluster on Juno runs at a fixed 0.65 GHz).  This module defines the
+:class:`Configuration` value type, enumerates the configuration space for a
+platform, and derives the heuristic mapper's *ladder*: the predefined
+ordering of configurations "approximately from highest to lowest power
+efficiency" obtained by characterizing every configuration with the stress
+microbenchmark (paper Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cores import CoreKind
+from repro.hardware.soc import Platform
+
+#: The ladder printed on the y axis of the paper's Figure 2c (Juno R1).
+PAPER_FIG2C_LADDER = (
+    "1S-0.65",
+    "2S-0.65",
+    "3S-0.65",
+    "2B-0.60",
+    "1B3S-0.60",
+    "4S-0.65",
+    "2B2S-0.60",
+    "1B3S-0.90",
+    "2B-0.90",
+    "2B2S-0.90",
+    "1B3S-1.15",
+    "2B2S-1.15",
+    "2B-1.15",
+)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """Cores and DVFS allocated to the latency-critical workload.
+
+    Frequencies are ``None`` exactly when the corresponding cluster hosts no
+    latency-critical core; what frequency that cluster actually runs at is a
+    *policy* decision (HipsterIn parks it at the minimum, HipsterCo races it
+    at the maximum for batch work) recorded in the
+    :class:`~repro.policies.base.Decision`, not here.
+    """
+
+    n_big: int
+    n_small: int
+    big_freq_ghz: float | None
+    small_freq_ghz: float | None
+
+    def __post_init__(self) -> None:
+        if self.n_big < 0 or self.n_small < 0:
+            raise ValueError("core counts must be non-negative")
+        if self.n_big == 0 and self.n_small == 0:
+            raise ValueError("a configuration must allocate at least one core")
+        if (self.n_big > 0) != (self.big_freq_ghz is not None):
+            raise ValueError("big_freq_ghz must be set iff big cores are allocated")
+        if (self.n_small > 0) != (self.small_freq_ghz is not None):
+            raise ValueError("small_freq_ghz must be set iff small cores are allocated")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``2B2S-0.90``, ``4S-0.65``, ``2B-1.15``."""
+        if self.n_big and self.n_small:
+            return f"{self.n_big}B{self.n_small}S-{self.big_freq_ghz:.2f}"
+        if self.n_big:
+            return f"{self.n_big}B-{self.big_freq_ghz:.2f}"
+        return f"{self.n_small}S-{self.small_freq_ghz:.2f}"
+
+    @property
+    def total_cores(self) -> int:
+        """Number of cores allocated to the latency-critical workload."""
+        return self.n_big + self.n_small
+
+    @property
+    def single_cluster_kind(self) -> CoreKind | None:
+        """The single cluster this configuration occupies, if only one.
+
+        Algorithm 2 (lines 10-11) races the *other* cluster to max DVFS for
+        batch work exactly when the latency-critical job sits on one
+        cluster only.
+        """
+        if self.n_big and not self.n_small:
+            return CoreKind.BIG
+        if self.n_small and not self.n_big:
+            return CoreKind.SMALL
+        return None
+
+    def uses_cluster(self, kind: CoreKind) -> bool:
+        """Whether any latency-critical core lives on the given cluster."""
+        return (self.n_big if kind is CoreKind.BIG else self.n_small) > 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+def validate_configuration(platform: Platform, config: Configuration) -> Configuration:
+    """Check a configuration against a platform's core counts and DVFS tables."""
+    if config.n_big > platform.big.n_cores:
+        raise ValueError(
+            f"{config.label}: platform has only {platform.big.n_cores} big cores"
+        )
+    if config.n_small > platform.small.n_cores:
+        raise ValueError(
+            f"{config.label}: platform has only {platform.small.n_cores} small cores"
+        )
+    if config.big_freq_ghz is not None:
+        platform.big.core_type.validate_freq(config.big_freq_ghz)
+    if config.small_freq_ghz is not None:
+        platform.small.core_type.validate_freq(config.small_freq_ghz)
+    return config
+
+
+def enumerate_configurations(
+    platform: Platform, *, max_total_cores: int | None = None
+) -> tuple[Configuration, ...]:
+    """Every (core mapping, DVFS) combination available on the platform.
+
+    This is the HetCMP configuration space of the paper's Figure 2: all
+    non-empty mixes of big and small cores crossed with the operating points
+    of each occupied cluster (34 configurations on Juno R1).
+
+    ``max_total_cores`` bounds the core count per configuration; the
+    paper's services run four worker threads, so its configuration space
+    (Figure 2c) tops out at four cores (25 configurations on Juno R1).
+    """
+    configs: list[Configuration] = []
+    big_freqs = platform.big.core_type.freqs_ghz
+    small_freqs = platform.small.core_type.freqs_ghz
+    for n_big in range(platform.big.n_cores + 1):
+        for n_small in range(platform.small.n_cores + 1):
+            if n_big == 0 and n_small == 0:
+                continue
+            if max_total_cores is not None and n_big + n_small > max_total_cores:
+                continue
+            for bf in big_freqs if n_big else (None,):
+                for sf in small_freqs if n_small else (None,):
+                    configs.append(Configuration(n_big, n_small, bf, sf))
+    return tuple(configs)
+
+
+def config_capacity_ips(platform: Platform, config: Configuration) -> float:
+    """Aggregate microbenchmark IPS of the cores in a configuration."""
+    validate_configuration(platform, config)
+    total = 0.0
+    if config.n_big:
+        total += config.n_big * platform.big.core_type.microbench_ips(config.big_freq_ghz)
+    if config.n_small:
+        total += config.n_small * platform.small.core_type.microbench_ips(
+            config.small_freq_ghz
+        )
+    return total
+
+
+def config_power_w(platform: Platform, config: Configuration) -> float:
+    """System power with the configuration's cores fully busy, others idle.
+
+    Clusters without latency-critical cores are assumed parked at their
+    minimum operating point, which matches how the characterization
+    microbenchmark is run.
+    """
+    validate_configuration(platform, config)
+    big_freq = config.big_freq_ghz or platform.big.min_freq_ghz
+    small_freq = config.small_freq_ghz or platform.small.min_freq_ghz
+    big_utils = {cid: 1.0 for cid in platform.big.core_ids[: config.n_big]}
+    small_utils = {cid: 1.0 for cid in platform.small.core_ids[: config.n_small]}
+    return (
+        platform.rest_of_system_w
+        + platform.big.power_w(big_freq, big_utils)
+        + platform.small.power_w(small_freq, small_utils)
+    )
+
+
+def rank_configurations(
+    platform: Platform, configs: tuple[Configuration, ...] | None = None
+) -> tuple[Configuration, ...]:
+    """Order configurations for the heuristic mapper's ladder.
+
+    The paper derives the ordering by measuring power and performance of
+    each state with a compute stress microbenchmark.  We rank primarily by
+    measured capacity (aggregate microbenchmark IPS) ascending -- so that a
+    "next-higher power state" transition reliably adds capacity -- breaking
+    ties by measured power ascending, then by label for determinism.
+    """
+    if configs is None:
+        configs = enumerate_configurations(platform)
+    return tuple(
+        sorted(
+            configs,
+            key=lambda c: (
+                round(config_capacity_ips(platform, c), 3),
+                round(config_power_w(platform, c), 6),
+                c.label,
+            ),
+        )
+    )
+
+
+def pareto_configurations(
+    platform: Platform, configs: tuple[Configuration, ...] | None = None
+) -> tuple[Configuration, ...]:
+    """Capacity/power Pareto frontier of the configuration space, ascending.
+
+    A configuration is dropped when some other configuration delivers at
+    least as much microbenchmark capacity for strictly less power (or more
+    capacity for the same power).  The survivors form a ladder comparable
+    to the paper's 13-state Figure 2c axis: every upward step buys capacity
+    and costs power, which is exactly the property the heuristic mapper's
+    "next-higher power state" transition relies on.
+    """
+    if configs is None:
+        configs = enumerate_configurations(platform)
+    measured = [
+        (config_capacity_ips(platform, c), config_power_w(platform, c), c)
+        for c in configs
+    ]
+    frontier = [
+        (cap, power, c)
+        for cap, power, c in measured
+        if not any(
+            (other_cap >= cap and other_power < power)
+            or (other_cap > cap and other_power <= power)
+            for other_cap, other_power, _ in measured
+        )
+    ]
+    frontier.sort(key=lambda item: (item[0], item[1], item[2].label))
+    return tuple(c for _, _, c in frontier)
+
+
+def config_by_label(
+    configs: tuple[Configuration, ...], label: str
+) -> Configuration:
+    """Find a configuration by its paper-style label."""
+    for config in configs:
+        if config.label == label:
+            return config
+    raise KeyError(f"no configuration labelled {label!r}")
+
+
+def octopus_man_ladder(
+    platform: Platform, *, include_single_big: bool = False
+) -> tuple[Configuration, ...]:
+    """The baseline policy's ladder: small-only then big-only, max DVFS.
+
+    Octopus-Man maps the latency-critical workload exclusively to big or to
+    small cores at the highest DVFS (paper Sections 2 and 4.2.1); its
+    configuration space is therefore a strict subset of HetCMP's.
+    """
+    small_max = platform.small.max_freq_ghz
+    big_max = platform.big.max_freq_ghz
+    ladder = [
+        Configuration(0, n, None, small_max)
+        for n in range(1, platform.small.n_cores + 1)
+    ]
+    start_big = 1 if include_single_big else platform.big.n_cores
+    ladder.extend(
+        Configuration(n, 0, big_max, None)
+        for n in range(start_big, platform.big.n_cores + 1)
+    )
+    return tuple(ladder)

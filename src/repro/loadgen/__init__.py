@@ -1,0 +1,26 @@
+"""Load generation: the simulated counterpart of the paper's Faban client.
+
+Traces map time to offered load (a fraction of the workload's calibrated
+maximum); the engine turns them into Poisson request arrivals.
+"""
+
+from repro.loadgen.diurnal import DiurnalTrace, diurnal_shape
+from repro.loadgen.traces import (
+    ConcatTrace,
+    ConstantTrace,
+    LoadTrace,
+    RampTrace,
+    SpikeTrace,
+    StepTrace,
+)
+
+__all__ = [
+    "ConcatTrace",
+    "ConstantTrace",
+    "DiurnalTrace",
+    "LoadTrace",
+    "RampTrace",
+    "SpikeTrace",
+    "StepTrace",
+    "diurnal_shape",
+]

@@ -1,0 +1,170 @@
+"""Load traces: offered load as a function of time.
+
+The controllers under study only ever see the offered load of the current
+monitoring interval, so a trace is simply a function from time to a load
+fraction in ``[0, 1]`` (of the workload's calibrated maximum).  Besides the
+diurnal pattern (:mod:`repro.loadgen.diurnal`), the paper's evaluation uses
+a linear ramp (Figure 8, 50% to 100% over 175 s) and motivates sudden load
+spikes (Section 2, citing "The Tail at Scale"); constant and step traces
+round out the toolbox for tests and calibration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class LoadTrace(abc.ABC):
+    """Offered load over time, as a fraction of the workload maximum."""
+
+    #: Total trace duration in seconds.
+    duration_s: float
+
+    @abc.abstractmethod
+    def load_at(self, t: float) -> float:
+        """Offered load fraction at time ``t`` (clamped to the trace)."""
+
+    def n_intervals(self, interval_s: float = 1.0) -> int:
+        """Number of whole monitoring intervals the trace covers."""
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        return int(self.duration_s / interval_s)
+
+    def _check(self, t: float) -> float:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        return min(t, self.duration_s)
+
+
+@dataclass(frozen=True)
+class ConstantTrace(LoadTrace):
+    """A fixed offered load, used for calibration and steady-state sweeps."""
+
+    level: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.5:
+            raise ValueError("level must be within [0, 1.5]")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    def load_at(self, t: float) -> float:
+        self._check(t)
+        return self.level
+
+
+@dataclass(frozen=True)
+class StepTrace(LoadTrace):
+    """Piecewise-constant load: a sequence of ``(duration_s, level)`` steps."""
+
+    steps: tuple[tuple[float, float], ...]
+    duration_s: float = 0.0
+
+    def __init__(self, steps: Sequence[tuple[float, float]]):
+        if not steps:
+            raise ValueError("need at least one step")
+        for duration, level in steps:
+            if duration <= 0:
+                raise ValueError("step durations must be positive")
+            if not 0.0 <= level <= 1.5:
+                raise ValueError("step levels must be within [0, 1.5]")
+        object.__setattr__(self, "steps", tuple((float(d), float(l)) for d, l in steps))
+        object.__setattr__(self, "duration_s", float(sum(d for d, _ in steps)))
+
+    def load_at(self, t: float) -> float:
+        t = self._check(t)
+        elapsed = 0.0
+        for duration, level in self.steps:
+            elapsed += duration
+            if t < elapsed:
+                return level
+        return self.steps[-1][1]
+
+
+@dataclass(frozen=True)
+class RampTrace(LoadTrace):
+    """Linear ramp from ``start_level`` to ``end_level`` (Figure 8).
+
+    The ramp occupies ``ramp_s`` seconds after ``lead_s`` seconds of the
+    start level; any remaining time holds the end level.
+    """
+
+    start_level: float
+    end_level: float
+    ramp_s: float
+    lead_s: float = 0.0
+    hold_s: float = 0.0
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("start_level", "end_level"):
+            if not 0.0 <= getattr(self, attr) <= 1.5:
+                raise ValueError(f"{attr} must be within [0, 1.5]")
+        if self.ramp_s <= 0:
+            raise ValueError("ramp_s must be positive")
+        if self.lead_s < 0 or self.hold_s < 0:
+            raise ValueError("lead_s and hold_s must be non-negative")
+        object.__setattr__(
+            self, "duration_s", self.lead_s + self.ramp_s + self.hold_s
+        )
+
+    def load_at(self, t: float) -> float:
+        t = self._check(t)
+        if t < self.lead_s:
+            return self.start_level
+        if t >= self.lead_s + self.ramp_s:
+            return self.end_level
+        frac = (t - self.lead_s) / self.ramp_s
+        return self.start_level + frac * (self.end_level - self.start_level)
+
+
+@dataclass(frozen=True)
+class ConcatTrace(LoadTrace):
+    """Several traces played back to back (e.g. warm-up then a ramp)."""
+
+    parts: tuple[LoadTrace, ...]
+    duration_s: float = 0.0
+
+    def __init__(self, parts: Sequence[LoadTrace]):
+        if not parts:
+            raise ValueError("need at least one part")
+        object.__setattr__(self, "parts", tuple(parts))
+        object.__setattr__(self, "duration_s", float(sum(p.duration_s for p in parts)))
+
+    def load_at(self, t: float) -> float:
+        t = self._check(t)
+        for part in self.parts:
+            if t < part.duration_s:
+                return part.load_at(t)
+            t -= part.duration_s
+        return self.parts[-1].load_at(self.parts[-1].duration_s)
+
+
+@dataclass(frozen=True)
+class SpikeTrace(LoadTrace):
+    """A sudden load spike on top of a base level (Section 2's 'sudden
+    load spikes' stressor)."""
+
+    base_level: float
+    spike_level: float
+    spike_start_s: float
+    spike_duration_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        for attr in ("base_level", "spike_level"):
+            if not 0.0 <= getattr(self, attr) <= 1.5:
+                raise ValueError(f"{attr} must be within [0, 1.5]")
+        if self.spike_duration_s <= 0 or self.duration_s <= 0:
+            raise ValueError("durations must be positive")
+        if not 0.0 <= self.spike_start_s <= self.duration_s:
+            raise ValueError("spike_start_s must lie within the trace")
+
+    def load_at(self, t: float) -> float:
+        t = self._check(t)
+        if self.spike_start_s <= t < self.spike_start_s + self.spike_duration_s:
+            return self.spike_level
+        return self.base_level

@@ -1,0 +1,30 @@
+"""Summary metrics: QoS guarantee/tardiness and energy accounting."""
+
+from repro.metrics.energy import (
+    energy_reduction_percent,
+    mean_power_percent_of,
+    normalized_energy,
+    throughput_per_watt,
+)
+from repro.metrics.qos_stats import (
+    mean_tardiness,
+    qos_guarantee_percent,
+    qos_violations_percent,
+    tardiness_series,
+    violation_run_lengths,
+)
+from repro.metrics.summary import PolicySummary, summarize
+
+__all__ = [
+    "PolicySummary",
+    "energy_reduction_percent",
+    "mean_power_percent_of",
+    "mean_tardiness",
+    "normalized_energy",
+    "qos_guarantee_percent",
+    "qos_violations_percent",
+    "summarize",
+    "tardiness_series",
+    "throughput_per_watt",
+    "violation_run_lengths",
+]

@@ -1,0 +1,42 @@
+"""Energy accounting helpers.
+
+The paper reports energy *reduction* relative to the Static (all big
+cores) mapping (Table 3) and energy *consumption normalized to static*
+(Figure 11), plus throughput-per-watt efficiency (Figure 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.records import ExperimentResult
+
+
+def energy_reduction_percent(
+    result: ExperimentResult, baseline: ExperimentResult
+) -> float:
+    """Energy saved relative to a baseline run, percent (Table 3)."""
+    return result.energy_reduction_vs(baseline) * 100.0
+
+
+def normalized_energy(result: ExperimentResult, baseline: ExperimentResult) -> float:
+    """Energy as a fraction of the baseline's (Figure 11, bottom)."""
+    base = baseline.total_energy_j()
+    if base <= 0:
+        raise ValueError("baseline consumed no energy")
+    return result.total_energy_j() / base
+
+
+def throughput_per_watt(result: ExperimentResult) -> float:
+    """Mean requests per second per watt (Figure 2's y axis)."""
+    power = result.mean_power_w()
+    if power <= 0:
+        raise ValueError("run reports no power")
+    return float(np.mean(result.arrival_rps)) / power
+
+
+def mean_power_percent_of(result: ExperimentResult, reference_w: float) -> np.ndarray:
+    """Per-interval power as a percentage of a reference (Figure 1)."""
+    if reference_w <= 0:
+        raise ValueError("reference_w must be positive")
+    return result.powers_w / reference_w * 100.0

@@ -1,0 +1,55 @@
+"""QoS summary statistics (paper Section 4.2.4).
+
+Thin, composable helpers over :class:`~repro.sim.records.ExperimentResult`
+for the two metrics every table in the paper reports -- *QoS guarantee*
+(fraction of intervals meeting the target) and *QoS tardiness* (mean
+``QoS_curr / QoS_target`` over violating intervals) -- plus a couple of
+derived views used by individual figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.records import ExperimentResult
+
+
+def qos_guarantee_percent(result: ExperimentResult) -> float:
+    """QoS guarantee as a percentage, as printed in the paper's tables."""
+    return result.qos_guarantee() * 100.0
+
+
+def qos_violations_percent(result: ExperimentResult) -> float:
+    """QoS violations as a percentage (Figure 10's bars)."""
+    return (1.0 - result.qos_guarantee()) * 100.0
+
+
+def mean_tardiness(result: ExperimentResult) -> float:
+    """Mean tardiness over violating intervals (Table 3)."""
+    return result.qos_tardiness()
+
+
+def tardiness_series(result: ExperimentResult) -> np.ndarray:
+    """Per-interval ``QoS_curr / QoS_target`` (Figure 8's bottom panel)."""
+    return result.tails_ms / result.target_latency_ms
+
+
+def violation_run_lengths(result: ExperimentResult) -> list[int]:
+    """Lengths of consecutive violation streaks, longest effects first.
+
+    Long streaks indicate capacity mis-sizing or slow recovery; isolated
+    single-interval violations indicate noise or migrations.  Useful when
+    diagnosing a policy's failure mode.
+    """
+    runs: list[int] = []
+    current = 0
+    for observation in result:
+        if observation.qos_met:
+            if current:
+                runs.append(current)
+            current = 0
+        else:
+            current += 1
+    if current:
+        runs.append(current)
+    return sorted(runs, reverse=True)

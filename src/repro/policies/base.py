@@ -1,0 +1,137 @@
+"""Task-manager interface shared by Hipster and every baseline.
+
+A manager sees the system exactly the way the paper's user-space runtime
+does: once per monitoring interval it receives an
+:class:`~repro.sim.records.IntervalObservation` and, before the next
+interval starts, must produce a :class:`Decision` -- the latency-critical
+configuration, the operating point of each cluster, and whether batch jobs
+run on the leftover cores.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.soc import Platform
+from repro.hardware.topology import Configuration, validate_configuration
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim <-> policies import cycle
+    from repro.sim.records import IntervalObservation
+from repro.workloads.base import LatencyCriticalWorkload
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What to apply for the upcoming monitoring interval."""
+
+    config: Configuration
+    big_freq_ghz: float
+    small_freq_ghz: float
+    run_batch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.config.big_freq_ghz is not None and (
+            self.big_freq_ghz != self.config.big_freq_ghz
+        ):
+            raise ValueError(
+                "big cluster hosts latency-critical cores; its frequency is "
+                "fixed by the configuration"
+            )
+        if self.config.small_freq_ghz is not None and (
+            self.small_freq_ghz != self.config.small_freq_ghz
+        ):
+            raise ValueError(
+                "small cluster hosts latency-critical cores; its frequency is "
+                "fixed by the configuration"
+            )
+
+
+def resolve_decision(
+    platform: Platform,
+    config: Configuration,
+    *,
+    collocate_batch: bool,
+) -> Decision:
+    """Turn a configuration choice into a full decision (Algorithm 2, 8-13).
+
+    Clusters hosting latency-critical cores run at the configuration's
+    operating point (one DVFS domain per cluster).  A cluster with no
+    latency-critical core is raced to its maximum operating point when
+    batch jobs will use it, and parked at its minimum otherwise
+    (HipsterIn's "lowest DVFS for the remaining cores").
+    """
+    validate_configuration(platform, config)
+    if config.big_freq_ghz is not None:
+        big_freq = config.big_freq_ghz
+    else:
+        big_freq = platform.big.max_freq_ghz if collocate_batch else platform.big.min_freq_ghz
+    if config.small_freq_ghz is not None:
+        small_freq = config.small_freq_ghz
+    else:
+        small_freq = (
+            platform.small.max_freq_ghz if collocate_batch else platform.small.min_freq_ghz
+        )
+    return Decision(
+        config=config,
+        big_freq_ghz=big_freq,
+        small_freq_ghz=small_freq,
+        run_batch=collocate_batch,
+    )
+
+
+@dataclass
+class ManagerContext:
+    """Everything a manager may legitimately know before the run starts."""
+
+    platform: Platform
+    workload: LatencyCriticalWorkload
+    interval_s: float
+    rng: np.random.Generator
+    batch_present: bool = False
+
+
+class TaskManager(abc.ABC):
+    """Interval-granularity controller of core mapping and DVFS."""
+
+    #: Human-readable policy name, used in reports.
+    name: str = "manager"
+
+    def __init__(self) -> None:
+        self._ctx: ManagerContext | None = None
+
+    @property
+    def ctx(self) -> ManagerContext:
+        """The run context; available after :meth:`start`."""
+        if self._ctx is None:
+            raise RuntimeError("manager not started; the engine calls start() first")
+        return self._ctx
+
+    def start(self, ctx: ManagerContext) -> None:
+        """Bind the manager to a run.  Subclasses extend, not replace."""
+        self._ctx = ctx
+
+    @abc.abstractmethod
+    def decide(self) -> Decision:
+        """Choose the decision for the upcoming interval."""
+
+    def observe(self, observation: "IntervalObservation") -> None:
+        """Digest the interval that just finished (optional)."""
+
+
+@dataclass
+class DecisionLog:
+    """Small helper recording a manager's decisions, for tests/reports."""
+
+    decisions: list[Decision] = field(default_factory=list)
+
+    def record(self, decision: Decision) -> Decision:
+        self.decisions.append(decision)
+        return decision
+
+    @property
+    def config_labels(self) -> list[str]:
+        return [d.config.label for d in self.decisions]

@@ -1,0 +1,54 @@
+"""Static mapping policies.
+
+The paper's reference points: *Static (all big cores)* pins the
+latency-critical workload to both big cores at maximum DVFS (the safest,
+most power-hungry choice -- energy savings are reported against it), and
+*Static (all small cores)* pins it to the four small cores (the cheapest,
+QoS-violating choice).  In collocated experiments the static policy also
+runs batch jobs on the cores it does not use (Figure 11's baseline).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.soc import Platform
+from repro.hardware.topology import Configuration
+from repro.policies.base import Decision, TaskManager, resolve_decision
+
+
+class StaticPolicy(TaskManager):
+    """Always apply one fixed configuration."""
+
+    def __init__(
+        self, config: Configuration, *, collocate_batch: bool = False, name: str | None = None
+    ):
+        super().__init__()
+        self._config = config
+        self._collocate = collocate_batch
+        self.name = name or f"static-{config.label}"
+
+    def decide(self) -> Decision:
+        return resolve_decision(
+            self.ctx.platform, self._config, collocate_batch=self._collocate
+        )
+
+
+def static_all_big(platform: Platform, *, collocate_batch: bool = False) -> StaticPolicy:
+    """Static (all big cores) at maximum DVFS -- the paper's energy baseline."""
+    config = Configuration(
+        n_big=platform.big.n_cores,
+        n_small=0,
+        big_freq_ghz=platform.big.max_freq_ghz,
+        small_freq_ghz=None,
+    )
+    return StaticPolicy(config, collocate_batch=collocate_batch, name="static-big")
+
+
+def static_all_small(platform: Platform, *, collocate_batch: bool = False) -> StaticPolicy:
+    """Static (all small cores) -- cheap but QoS-violating at high load."""
+    config = Configuration(
+        n_big=0,
+        n_small=platform.small.n_cores,
+        big_freq_ghz=None,
+        small_freq_ghz=platform.small.max_freq_ghz,
+    )
+    return StaticPolicy(config, collocate_batch=collocate_batch, name="static-small")

@@ -1,0 +1,63 @@
+"""Table-driven policy: replay a fixed load -> configuration mapping.
+
+Figure 2c of the paper distills, for each workload, the most
+energy-efficient QoS-meeting configuration per load level -- a per-workload
+*state machine*.  Figure 3 then measures how much efficiency is lost when a
+workload runs under the *other* workload's state machine.  This policy
+replays such a mapping: each interval it looks up the configuration for
+the currently offered load (no feedback, no learning).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hardware.topology import Configuration
+from repro.policies.base import Decision, TaskManager, resolve_decision
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim <-> policies import cycle
+    from repro.sim.records import IntervalObservation
+
+
+class TableDrivenPolicy(TaskManager):
+    """Apply ``config_for(load)`` from a static (load threshold, config) table.
+
+    ``table`` maps ascending load upper-bounds to configurations: the entry
+    ``(0.30, cfg)`` serves all loads up to 30%.  Loads above the last
+    threshold use the last configuration.
+    """
+
+    def __init__(
+        self,
+        table: Sequence[tuple[float, Configuration]],
+        *,
+        collocate_batch: bool = False,
+        name: str = "table-driven",
+    ):
+        super().__init__()
+        if not table:
+            raise ValueError("the table needs at least one entry")
+        thresholds = [t for t, _ in table]
+        if thresholds != sorted(thresholds):
+            raise ValueError("table thresholds must be ascending")
+        self._table = tuple((float(t), c) for t, c in table)
+        self._collocate = collocate_batch
+        self.name = name
+        self._last_load = 0.0
+
+    def config_for(self, load: float) -> Configuration:
+        """Configuration prescribed for an offered load fraction."""
+        for threshold, config in self._table:
+            if load <= threshold:
+                return config
+        return self._table[-1][1]
+
+    def decide(self) -> Decision:
+        config = self.config_for(self._last_load)
+        return resolve_decision(
+            self.ctx.platform, config, collocate_batch=self._collocate
+        )
+
+    def observe(self, observation: "IntervalObservation") -> None:
+        self._last_load = observation.measured_load

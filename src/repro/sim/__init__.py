@@ -1,0 +1,37 @@
+"""Simulation substrate: queueing, contention, records, and the engine."""
+
+from repro.sim.contention import ClusterPressure, ContentionModel, aggregate_pressure
+from repro.sim.engine import (
+    DEFAULT_MAX_BACKLOG_S,
+    DEFAULT_MIGRATION_PENALTY_S,
+    EngineConfig,
+    IntervalSimulator,
+    run_experiment,
+)
+from repro.sim.latency import (
+    LatencySample,
+    qos_guarantee,
+    qos_tardiness,
+    summarize_latencies,
+)
+from repro.sim.queueing import DispatchQueue, IntervalQueueStats
+from repro.sim.records import ExperimentResult, IntervalObservation
+
+__all__ = [
+    "ClusterPressure",
+    "ContentionModel",
+    "DEFAULT_MAX_BACKLOG_S",
+    "DEFAULT_MIGRATION_PENALTY_S",
+    "DispatchQueue",
+    "EngineConfig",
+    "ExperimentResult",
+    "IntervalObservation",
+    "IntervalQueueStats",
+    "IntervalSimulator",
+    "LatencySample",
+    "aggregate_pressure",
+    "qos_guarantee",
+    "qos_tardiness",
+    "run_experiment",
+    "summarize_latencies",
+]

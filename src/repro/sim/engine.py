@@ -1,0 +1,389 @@
+"""Interval co-simulator: trace -> manager -> platform -> observations.
+
+This is the harness that plays the role of the paper's physical testbed.
+Each monitoring interval (1 s by default, Section 3.6) it:
+
+1. asks the task manager for a :class:`~repro.policies.base.Decision`;
+2. applies it -- sets the per-cluster DVFS, pins the latency-critical
+   workload (charging a migration penalty if the core set changed), and
+   spawns one batch job per leftover core when collocation is on;
+3. runs the workload's queueing replica for the interval under the
+   resulting per-core speeds (including contention slowdowns);
+4. integrates power over the interval and samples the perf counters
+   (through the Juno-bug model);
+5. hands the manager an :class:`~repro.sim.records.IntervalObservation`.
+
+Everything stochastic draws from a single seeded generator, so a run is a
+pure function of ``(platform, workload, trace, manager, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.affinity import AffinityManager
+from repro.hardware.counters import PerfCounters
+from repro.hardware.cores import CoreKind
+from repro.hardware.dvfs import DVFSController
+from repro.hardware.power import EnergyMeter, PowerModel
+from repro.hardware.soc import KernelConfig, Platform
+from repro.loadgen.traces import LoadTrace
+from repro.policies.base import ManagerContext, TaskManager
+from repro.sim.contention import ContentionModel, aggregate_pressure
+from repro.sim.latency import summarize_latencies
+from repro.sim.queueing import DispatchQueue
+from repro.sim.records import ExperimentResult, IntervalObservation
+from repro.workloads.base import LatencyCriticalWorkload, lc_server_speeds
+from repro.workloads.batch import BatchJobSet
+
+#: Cost of moving the latency-critical workload between cores: thread
+#: migration plus cold L2, order of tens of milliseconds (Section 2 cites
+#: Rubik: core transitions are far more costly than DVFS changes).
+DEFAULT_MIGRATION_PENALTY_S = 0.060
+
+#: Per-server backlog bound; clients time out and shed beyond this.
+DEFAULT_MAX_BACKLOG_S = 4.0
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the co-simulator, with the paper's defaults."""
+
+    interval_s: float = 1.0
+    migration_penalty_s: float = DEFAULT_MIGRATION_PENALTY_S
+    max_backlog_s: float = DEFAULT_MAX_BACKLOG_S
+    balance_exponent: float = 0.55
+    juno_perf_bug: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.migration_penalty_s < 0:
+            raise ValueError("migration_penalty_s must be non-negative")
+        if self.max_backlog_s <= 0:
+            raise ValueError("max_backlog_s must be positive")
+
+
+class IntervalSimulator:
+    """Co-simulates one latency-critical workload, batch jobs and a manager."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        workload: LatencyCriticalWorkload,
+        trace: LoadTrace,
+        manager: TaskManager,
+        *,
+        batch_jobs: BatchJobSet | None = None,
+        contention: ContentionModel | None = None,
+        kernel: KernelConfig | None = None,
+        engine_config: EngineConfig | None = None,
+        seed: int = 0,
+    ):
+        self.platform = platform
+        self.workload = workload
+        self.trace = trace
+        self.manager = manager
+        self.batch_jobs = batch_jobs
+        self.contention = contention or ContentionModel()
+        # Hipster's deployment disables CPUidle to dodge the Juno perf bug
+        # (Section 3.7); that is the sensible default here too.
+        self.kernel = kernel or KernelConfig(cpuidle_enabled=False)
+        self.config = engine_config or EngineConfig()
+
+        self._rng = np.random.default_rng(seed)
+        scale = workload.sim_scale
+        # The migration cost is modelled as a latency adder on requests
+        # arriving during the (wall-clock) migration window -- see
+        # _migration_latency_extra_ms -- so the queue itself only needs the
+        # backlog bound (dilated, like every queue-internal delay).
+        self._queue = DispatchQueue(
+            rng=self._rng,
+            balance_exponent=self.config.balance_exponent,
+            migration_penalty_s=0.0,
+            max_backlog_s=self.config.max_backlog_s * scale,
+            burstiness=workload.burstiness,
+        )
+        self._affinity = AffinityManager(platform)
+        self._dvfs = DVFSController(platform.clusters)
+        self._power = PowerModel(platform, self.kernel)
+        self._counters = PerfCounters(
+            platform, self.kernel, juno_perf_bug=self.config.juno_perf_bug
+        )
+        self._meter = EnergyMeter()
+        self._started = False
+
+    @property
+    def energy_meter(self) -> EnergyMeter:
+        """The run's cumulative energy registers."""
+        return self._meter
+
+    @property
+    def dvfs(self) -> DVFSController:
+        """The run's DVFS controller (transition statistics live here)."""
+        return self._dvfs
+
+    @property
+    def affinity(self) -> AffinityManager:
+        """The run's affinity manager (migration statistics live here)."""
+        return self._affinity
+
+    def run(self, n_intervals: int | None = None) -> ExperimentResult:
+        """Run the experiment and return its observations."""
+        if self._started:
+            raise RuntimeError("an IntervalSimulator instance runs exactly once")
+        self._started = True
+
+        total = n_intervals or self.trace.n_intervals(self.config.interval_s)
+        if total <= 0:
+            raise ValueError("the trace is shorter than one interval")
+        self.manager.start(
+            ManagerContext(
+                platform=self.platform,
+                workload=self.workload,
+                interval_s=self.config.interval_s,
+                rng=np.random.default_rng(self._rng.integers(2**63)),
+                batch_present=self.batch_jobs is not None,
+            )
+        )
+
+        observations = [self._run_interval(i) for i in range(total)]
+        return ExperimentResult(
+            observations,
+            workload_name=self.workload.name,
+            manager_name=self.manager.name,
+            target_latency_ms=self.workload.target_latency_ms,
+            interval_s=self.config.interval_s,
+        )
+
+    # ------------------------------------------------------------------
+    # one monitoring interval
+    # ------------------------------------------------------------------
+
+    def _run_interval(self, index: int) -> IntervalObservation:
+        dt = self.config.interval_s
+        t0 = index * dt
+        t1 = t0 + dt
+        load = self.trace.load_at(t0 + dt / 2.0)
+
+        decision = self.manager.decide()
+        config = decision.config
+        self._dvfs.set_frequency("big", decision.big_freq_ghz)
+        self._dvfs.set_frequency("small", decision.small_freq_ghz)
+
+        n_free = self.platform.n_cores - config.total_cores
+        collocating = decision.run_batch and self.batch_jobs is not None
+        placement = self._affinity.apply(
+            config, n_batch_jobs=n_free if collocating else 0
+        )
+
+        # Contention pressure from batch neighbours.
+        mem_by_core = {
+            cid: self.batch_jobs.program_for_job(job).mem_intensity
+            for cid, job in placement.batch_assignment.items()
+        }
+        pressure = aggregate_pressure(mem_by_core, self.platform.big.core_ids)
+        slow_big = self.contention.lc_slowdown(
+            CoreKind.BIG, pressure, sensitivity=self.workload.contention_sensitivity
+        )
+        slow_small = self.contention.lc_slowdown(
+            CoreKind.SMALL, pressure, sensitivity=self.workload.contention_sensitivity
+        )
+
+        # Latency-critical queueing replica.
+        speeds = lc_server_speeds(
+            self.workload,
+            self.platform,
+            config,
+            big_slowdown=slow_big,
+            small_slowdown=slow_small,
+        )
+        self._queue.reconfigure(
+            speeds, now=t0, migration=placement.migration_event
+        )
+        stats = self._queue.run_interval(
+            t0, t1, self.workload.sim_arrival_rate(load), self.workload.sample_demands
+        )
+        latencies_ms = self.workload.reported_latency_ms(stats.latencies_s)
+        latencies_ms = latencies_ms + self._migration_latency_extra_ms(
+            placement, stats, t0, len(speeds)
+        )
+        sample = summarize_latencies(
+            latencies_ms,
+            self.workload.qos_percentile,
+            idle_latency_ms=self.workload.idle_latency_ms,
+        )
+
+        # Batch execution and perf counters.
+        true_ips = self._true_ips(placement, stats, decision)
+        counter_sample = self._counters.read(true_ips, self._rng)
+        big_batch = sum(
+            counter_sample[cid]
+            for cid in placement.batch_assignment
+            if cid in self.platform.big.core_ids
+        )
+        small_batch = sum(
+            counter_sample[cid]
+            for cid in placement.batch_assignment
+            if cid in self.platform.small.core_ids
+        )
+        batch_instructions = (
+            sum(true_ips[cid] for cid in placement.batch_assignment) * dt
+        )
+        garbage = counter_sample != {
+            cid: true_ips.get(cid, 0.0) for cid in self.platform.core_ids
+        }
+
+        # Power and energy.
+        utilizations = self._utilizations(placement, stats)
+        breakdown = self._power.breakdown(
+            decision.big_freq_ghz, decision.small_freq_ghz, utilizations
+        )
+        self._meter.record(breakdown, dt)
+
+        arrivals_real = stats.arrivals * self.workload.sim_scale
+        arrival_rps = arrivals_real / dt
+        tail = sample.tail_latency_ms
+        observation = IntervalObservation(
+            index=index,
+            t_start_s=t0,
+            duration_s=dt,
+            offered_load=load,
+            measured_load=min(arrival_rps / self.workload.max_load_rps, 1.0),
+            arrival_rps=arrival_rps,
+            n_requests=int(arrivals_real),
+            tail_latency_ms=tail,
+            mean_latency_ms=sample.mean_latency_ms,
+            qos_met=self.workload.qos_met(tail),
+            tardiness=self.workload.tardiness(tail),
+            power_w=breakdown.total_w,
+            energy_j=breakdown.total_w * dt,
+            big_ips=big_batch,
+            small_ips=small_batch,
+            counter_garbage=garbage,
+            decision=decision,
+            config_label=config.label,
+            big_freq_ghz=decision.big_freq_ghz,
+            small_freq_ghz=decision.small_freq_ghz,
+            migrated_cores=placement.migrated_cores,
+            migration_event=placement.migration_event,
+            mean_utilization=stats.mean_utilization,
+            backlog_s=self._queue.backlog_s(t1) / self.workload.sim_scale,
+            shed_work_s=stats.shed_work_s / self.workload.sim_scale,
+            batch_instructions=batch_instructions,
+        )
+        self.manager.observe(observation)
+        return observation
+
+    def _migration_latency_extra_ms(
+        self, placement, stats, t0: float, n_servers: int
+    ) -> np.ndarray:
+        """Latency added by a core migration (wall-clock, not dilated).
+
+        Requests arriving while threads migrate and caches refill wait out
+        the remainder of the migration window.  Only threads on *changed*
+        cores stall, so the adder hits a request with probability equal to
+        the fraction of cores that moved: single-core ladder steps are
+        nearly free while a cluster switch stalls the whole service --
+        which is why Octopus-Man's big<->small oscillations are so costly
+        (paper Sections 2 and 4.2.1).
+        """
+        if stats.arrivals == 0:
+            return np.zeros(0)
+        extra = np.zeros(stats.arrivals)
+        if not placement.migration_event:
+            return extra
+        penalty = self.config.migration_penalty_s
+        if penalty <= 0:
+            return extra
+        fraction = min(placement.migrated_cores / max(n_servers, 1), 1.0)
+        in_window = stats.arrival_times_s < t0 + penalty
+        stalled = in_window & (self._rng.random(stats.arrivals) < fraction)
+        remaining_s = t0 + penalty - stats.arrival_times_s[stalled]
+        extra[stalled] = remaining_s * 1e3
+        return extra
+
+    def _true_ips(self, placement, stats, decision) -> dict[str, float]:
+        """Ground-truth per-core IPS: batch programs plus LC threads."""
+        true_ips: dict[str, float] = {}
+        mem_by_core = {
+            cid: self.batch_jobs.program_for_job(job).mem_intensity
+            for cid, job in placement.batch_assignment.items()
+        }
+        pressure = aggregate_pressure(mem_by_core, self.platform.big.core_ids)
+        for cid, job in placement.batch_assignment.items():
+            program = self.batch_jobs.program_for_job(job)
+            cluster = self.platform.cluster_of(cid)
+            freq = (
+                decision.big_freq_ghz
+                if cluster is self.platform.big
+                else decision.small_freq_ghz
+            )
+            lc_pressure = (
+                self.workload.mem_intensity
+                if decision.config.uses_cluster(cluster.kind)
+                else 0.0
+            )
+            factor = self.contention.batch_throughput_factor(
+                cluster.kind,
+                program.mem_intensity,
+                pressure,
+                lc_pressure=lc_pressure,
+            )
+            true_ips[cid] = program.ips(
+                cluster.core_type, freq, throughput_factor=factor
+            )
+        used = placement.lc_cores[: self.workload.n_threads]
+        for core_id, util in zip(used, stats.utilizations):
+            cluster = self.platform.cluster_of(core_id)
+            freq = (
+                decision.big_freq_ghz
+                if cluster is self.platform.big
+                else decision.small_freq_ghz
+            )
+            true_ips[core_id] = (
+                self.workload.lc_ipc_fraction
+                * cluster.core_type.microbench_ips(freq)
+                * util
+            )
+        return true_ips
+
+    def _utilizations(self, placement, stats) -> dict[str, float]:
+        """Per-core utilization for the power model."""
+        utils: dict[str, float] = {}
+        used = placement.lc_cores[: self.workload.n_threads]
+        for core_id, util in zip(used, stats.utilizations):
+            utils[core_id] = float(util)
+        for core_id in placement.batch_assignment:
+            utils[core_id] = 1.0
+        return utils
+
+
+def run_experiment(
+    platform: Platform,
+    workload: LatencyCriticalWorkload,
+    trace: LoadTrace,
+    manager: TaskManager,
+    *,
+    batch_jobs: BatchJobSet | None = None,
+    contention: ContentionModel | None = None,
+    kernel: KernelConfig | None = None,
+    engine_config: EngineConfig | None = None,
+    seed: int = 0,
+    n_intervals: int | None = None,
+) -> ExperimentResult:
+    """One-call wrapper: build an :class:`IntervalSimulator` and run it."""
+    simulator = IntervalSimulator(
+        platform,
+        workload,
+        trace,
+        manager,
+        batch_jobs=batch_jobs,
+        contention=contention,
+        kernel=kernel,
+        engine_config=engine_config,
+        seed=seed,
+    )
+    return simulator.run(n_intervals)

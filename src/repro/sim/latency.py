@@ -1,0 +1,81 @@
+"""Latency statistics over monitoring intervals.
+
+The paper quantifies QoS with the tail latency of the request distribution
+-- the 95th percentile for Memcached, the 90th for Web-Search (Table 1) --
+sampled once per monitoring interval, plus two summary metrics
+(Section 4.2.4): *QoS guarantee*, the percentage of intervals whose
+measured tail did not violate the target, and *QoS tardiness*,
+``QoS_curr / QoS_target`` averaged over violating intervals only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """Tail-latency measurement for one monitoring interval."""
+
+    tail_latency_ms: float
+    mean_latency_ms: float
+    n_requests: int
+
+    def tardiness(self, target_ms: float) -> float:
+        """``QoS_curr / QoS_target`` for this sample (Section 3.4 footnote)."""
+        if target_ms <= 0:
+            raise ValueError("target must be positive")
+        return self.tail_latency_ms / target_ms
+
+    def violates(self, target_ms: float) -> bool:
+        """Whether this sample's tail exceeds the target."""
+        return self.tail_latency_ms > target_ms
+
+
+def summarize_latencies(
+    latencies_ms: np.ndarray, percentile: float, *, idle_latency_ms: float = 0.0
+) -> LatencySample:
+    """Summarize an interval's request latencies.
+
+    ``percentile`` is a fraction in (0, 1), e.g. 0.95 for p95.  Intervals
+    with no completed requests (near-zero load) report the floor latency
+    ``idle_latency_ms`` -- an unloaded service still answers in its base
+    service time.
+    """
+    if not 0.0 < percentile < 1.0:
+        raise ValueError("percentile must be a fraction in (0, 1)")
+    latencies_ms = np.asarray(latencies_ms, dtype=float)
+    if latencies_ms.size == 0:
+        return LatencySample(
+            tail_latency_ms=idle_latency_ms,
+            mean_latency_ms=idle_latency_ms,
+            n_requests=0,
+        )
+    return LatencySample(
+        tail_latency_ms=float(np.quantile(latencies_ms, percentile)),
+        mean_latency_ms=float(np.mean(latencies_ms)),
+        n_requests=int(latencies_ms.size),
+    )
+
+
+def qos_guarantee(tails_ms: np.ndarray, target_ms: float) -> float:
+    """Fraction of intervals whose tail met the target (Section 4.2.4)."""
+    tails_ms = np.asarray(tails_ms, dtype=float)
+    if tails_ms.size == 0:
+        return 1.0
+    return float(np.mean(tails_ms <= target_ms))
+
+
+def qos_tardiness(tails_ms: np.ndarray, target_ms: float) -> float:
+    """Mean ``QoS_curr/QoS_target`` over violating intervals only.
+
+    Returns 0.0 when no interval violates (the paper's table reports
+    tardiness conditioned on violation).
+    """
+    tails_ms = np.asarray(tails_ms, dtype=float)
+    violating = tails_ms[tails_ms > target_ms]
+    if violating.size == 0:
+        return 0.0
+    return float(np.mean(violating / target_ms))

@@ -1,0 +1,239 @@
+"""Per-core FCFS queueing with speed-weighted dispatch.
+
+The latency-critical services the paper uses (Memcached, Elasticsearch)
+dispatch requests to worker threads pinned one-per-core; load balancing
+across heterogeneous cores is imperfect, which is why at very high load the
+paper's configuration sweeps (Figure 2) fall back to big-cores-only even
+though mixed configurations have more aggregate capacity.  We model each
+core as a FCFS single server fed by weighted-random dispatch with weight
+``speed ** balance_exponent``: an exponent of 1 is capacity-proportional
+(perfect) balancing, 0 is uniform; the default 0.7 reproduces the
+imbalance-driven crossovers.
+
+The queue state (per-core virtual "free time") carries over between
+monitoring intervals, so overload causes multi-interval latency blow-ups
+and slow recovery exactly as on real hardware.  Reconfigurations
+redistribute residual backlog over the new server set and, when the *core
+set* changed (a migration -- not a DVFS change), charge a migration
+penalty; this asymmetry between costly migrations and near-free DVFS
+transitions is central to the paper's argument (Section 2, citing Rubik).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+DemandSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class IntervalQueueStats:
+    """What happened inside the queue during one monitoring interval."""
+
+    latencies_s: np.ndarray
+    arrival_times_s: np.ndarray
+    arrivals: int
+    utilizations: tuple[float, ...]
+    shed_work_s: float
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean utilization over the interval's servers (0 when empty)."""
+        if not self.utilizations:
+            return 0.0
+        return float(np.mean(self.utilizations))
+
+
+@dataclass
+class DispatchQueue:
+    """Heterogeneous per-core FCFS queues with weighted-random dispatch.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness for arrivals, demands and dispatch.
+    balance_exponent:
+        Dispatch weight is ``speed ** balance_exponent``; see module
+        docstring.
+    migration_penalty_s:
+        Service blackout charged when the server (core) set changes --
+        thread migration plus cold caches.  Expressed in queue time; the
+        caller is responsible for dilating it when running a time-scaled
+        replica.
+    max_backlog_s:
+        Upper bound on per-server backlog.  Work beyond the bound is shed
+        (clients time out and retry elsewhere); the shed amount is
+        reported so experiments can account for it.
+    burstiness:
+        Mean batch size of arrivals.  1.0 gives plain Poisson arrivals;
+        larger values draw burst epochs as a thinned Poisson process with
+        geometric batch sizes (a batch Markovian arrival process).  Real
+        request streams are bursty -- Memcached multi-gets fan out, search
+        front-ends batch -- which is what makes tail latency grow
+        *gradually* with utilization instead of cliff-diving only at
+        saturation.
+    """
+
+    rng: np.random.Generator
+    balance_exponent: float = 0.7
+    migration_penalty_s: float = 0.0
+    max_backlog_s: float | None = None
+    burstiness: float = 1.0
+    _speeds: np.ndarray = field(init=False, default_factory=lambda: np.zeros(0))
+    _free: np.ndarray = field(init=False, default_factory=lambda: np.zeros(0))
+    _weights: np.ndarray = field(init=False, default_factory=lambda: np.zeros(0))
+
+    @property
+    def n_servers(self) -> int:
+        """Number of currently configured servers."""
+        return len(self._speeds)
+
+    def backlog_s(self, now: float) -> float:
+        """Total queued work across servers, expressed in seconds of delay."""
+        if self.n_servers == 0:
+            return 0.0
+        return float(np.sum(np.maximum(self._free - now, 0.0)))
+
+    def reconfigure(
+        self, speeds: Sequence[float], now: float, *, migration: bool = False
+    ) -> None:
+        """Update the server set, carrying residual backlog over.
+
+        Three cases, from cheapest to costliest:
+
+        * identical speeds, no migration -- a no-op; per-server queues are
+          untouched (repeating the same decision must not perturb them);
+        * same server count, no migration (a DVFS change) -- each server's
+          residual *work* is preserved, so its backlog time rescales by
+          the speed ratio;
+        * a migration (core set changed) -- residual work is pooled and
+          spread evenly (in time) over the new servers, and every server
+          is blacked out for ``migration_penalty_s``.
+        """
+        new_speeds = np.asarray(speeds, dtype=float)
+        if new_speeds.ndim != 1 or len(new_speeds) == 0:
+            raise ValueError("need at least one server")
+        if np.any(new_speeds <= 0):
+            raise ValueError("server speeds must be positive")
+
+        same_count = len(new_speeds) == self.n_servers
+        if same_count and not migration:
+            if not np.array_equal(new_speeds, self._speeds):
+                backlog = np.maximum(self._free - now, 0.0)
+                ratio = self._speeds / new_speeds
+                self._free = now + np.minimum(self._free - now, 0.0) + backlog * ratio
+                self._speeds = new_speeds
+                self._set_weights(new_speeds)
+            return
+
+        residual_work = 0.0
+        if self.n_servers:
+            residual_work = float(
+                np.sum(np.maximum(self._free - now, 0.0) * self._speeds)
+            )
+        start = now + (self.migration_penalty_s if migration else 0.0)
+        per_server_delay = residual_work / float(np.sum(new_speeds))
+        self._speeds = new_speeds
+        self._free = np.full(len(new_speeds), start + per_server_delay)
+        self._set_weights(new_speeds)
+
+    def _set_weights(self, speeds: np.ndarray) -> None:
+        weights = speeds**self.balance_exponent
+        self._weights = weights / weights.sum()
+
+    def run_interval(
+        self,
+        t0: float,
+        t1: float,
+        arrival_rate: float,
+        demand_sampler: DemandSampler,
+    ) -> IntervalQueueStats:
+        """Simulate Poisson arrivals over ``[t0, t1)``.
+
+        Returns per-request latencies (sojourn times) for every request
+        *arriving* in the interval, per-server utilizations, and the
+        amount of work shed to the backlog bound.
+        """
+        if self.n_servers == 0:
+            raise RuntimeError("reconfigure() must be called before run_interval()")
+        if t1 <= t0:
+            raise ValueError("interval must have positive duration")
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+
+        dt = t1 - t0
+        n, burst_times = self._draw_arrivals(arrival_rate, t0, t1)
+        carried_busy = np.maximum(np.minimum(self._free, t1) - t0, 0.0)
+        if n == 0:
+            utils = np.minimum(carried_busy / dt, 1.0)
+            shed = self._shed(t1)
+            return IntervalQueueStats(
+                latencies_s=np.empty(0),
+                arrival_times_s=np.empty(0),
+                arrivals=0,
+                utilizations=tuple(float(u) for u in utils),
+                shed_work_s=shed,
+            )
+
+        arrivals = burst_times
+        demands = demand_sampler(self.rng, n)
+        assigned = self.rng.choice(self.n_servers, size=n, p=self._weights)
+
+        latencies = np.empty(n)
+        service_time_per_server = np.zeros(self.n_servers)
+        free = self._free
+        speeds = self._speeds
+        for k in range(self.n_servers):
+            (idx,) = np.nonzero(assigned == k)
+            if len(idx) == 0:
+                continue
+            service = demands[idx] / speeds[k]
+            service_time_per_server[k] = float(np.sum(service))
+            free_k = free[k]
+            arr_k = arrivals[idx]
+            lat_k = latencies  # alias for clarity below
+            for j, pos in enumerate(idx):
+                start = arr_k[j] if arr_k[j] > free_k else free_k
+                free_k = start + service[j]
+                lat_k[pos] = free_k - arr_k[j]
+            free[k] = free_k
+
+        utils = np.minimum((carried_busy + service_time_per_server) / dt, 1.0)
+        shed = self._shed(t1)
+        return IntervalQueueStats(
+            latencies_s=latencies,
+            arrival_times_s=arrivals,
+            arrivals=n,
+            utilizations=tuple(float(u) for u in utils),
+            shed_work_s=shed,
+        )
+
+    def _draw_arrivals(
+        self, arrival_rate: float, t0: float, t1: float
+    ) -> tuple[int, np.ndarray]:
+        """Arrival times for one interval: Poisson or geometric bursts."""
+        dt = t1 - t0
+        if self.burstiness <= 1.0:
+            n = int(self.rng.poisson(arrival_rate * dt))
+            return n, np.sort(self.rng.uniform(t0, t1, size=n))
+        mean_batch = self.burstiness
+        n_bursts = int(self.rng.poisson(arrival_rate * dt / mean_batch))
+        if n_bursts == 0:
+            return 0, np.empty(0)
+        sizes = self.rng.geometric(1.0 / mean_batch, size=n_bursts)
+        epochs = np.sort(self.rng.uniform(t0, t1, size=n_bursts))
+        times = np.repeat(epochs, sizes)
+        return int(times.size), times
+
+    def _shed(self, now: float) -> float:
+        """Clamp backlog to the bound; return seconds of delay shed."""
+        if self.max_backlog_s is None:
+            return 0.0
+        bound = now + self.max_backlog_s
+        excess = np.maximum(self._free - bound, 0.0)
+        if np.any(excess > 0):
+            np.minimum(self._free, bound, out=self._free)
+        return float(np.sum(excess))

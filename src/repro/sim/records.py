@@ -1,0 +1,204 @@
+"""Observation records produced by the interval co-simulator.
+
+One :class:`IntervalObservation` is what the paper's QoS Monitor sees at
+the end of each monitoring interval: application-level load and tail
+latency, system power from the energy registers, and batch IPS from the
+performance counters.  :class:`ExperimentResult` collects a run's
+observations and exposes the summary metrics the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.sim.latency import qos_guarantee, qos_tardiness
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.policies.base import Decision
+
+
+@dataclass(frozen=True)
+class IntervalObservation:
+    """Everything measurable about one monitoring interval.
+
+    The fields mirror the paper's QoS Monitor (Section 3.2): application
+    metrics come from the workload's logfile interface, power from the
+    energy meters, and ``big_ips``/``small_ips`` from perf counters over
+    the batch cores (and may therefore be garbage if the Juno perf bug
+    fires -- see :mod:`repro.hardware.counters`).
+    """
+
+    index: int
+    t_start_s: float
+    duration_s: float
+    offered_load: float
+    measured_load: float
+    arrival_rps: float
+    n_requests: int
+    tail_latency_ms: float
+    mean_latency_ms: float
+    qos_met: bool
+    tardiness: float
+    power_w: float
+    energy_j: float
+    big_ips: float
+    small_ips: float
+    counter_garbage: bool
+    decision: "Decision"
+    config_label: str
+    big_freq_ghz: float
+    small_freq_ghz: float
+    migrated_cores: int
+    migration_event: bool
+    mean_utilization: float
+    backlog_s: float
+    shed_work_s: float
+    batch_instructions: float
+
+
+class ExperimentResult:
+    """A run's observations plus the paper's summary metrics."""
+
+    def __init__(
+        self,
+        observations: Sequence[IntervalObservation],
+        *,
+        workload_name: str,
+        manager_name: str,
+        target_latency_ms: float,
+        interval_s: float,
+    ):
+        if not observations:
+            raise ValueError("an experiment result needs at least one interval")
+        self._observations = tuple(observations)
+        self.workload_name = workload_name
+        self.manager_name = manager_name
+        self.target_latency_ms = target_latency_ms
+        self.interval_s = interval_s
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[IntervalObservation]:
+        return iter(self._observations)
+
+    def __getitem__(self, index: int) -> IntervalObservation:
+        return self._observations[index]
+
+    @property
+    def observations(self) -> tuple[IntervalObservation, ...]:
+        """All interval observations, in order."""
+        return self._observations
+
+    # ------------------------------------------------------------------
+    # column accessors
+    # ------------------------------------------------------------------
+
+    def _column(self, attr: str) -> np.ndarray:
+        return np.array([getattr(o, attr) for o in self._observations], dtype=float)
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Interval start times, seconds."""
+        return self._column("t_start_s")
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Offered load fractions."""
+        return self._column("offered_load")
+
+    @property
+    def tails_ms(self) -> np.ndarray:
+        """Measured tail latency per interval, ms."""
+        return self._column("tail_latency_ms")
+
+    @property
+    def powers_w(self) -> np.ndarray:
+        """System power per interval, watts."""
+        return self._column("power_w")
+
+    @property
+    def arrival_rps(self) -> np.ndarray:
+        """Achieved request throughput per interval."""
+        return self._column("arrival_rps")
+
+    @property
+    def config_labels(self) -> tuple[str, ...]:
+        """Chosen configuration label per interval."""
+        return tuple(o.config_label for o in self._observations)
+
+    # ------------------------------------------------------------------
+    # summary metrics (paper Section 4.2.4)
+    # ------------------------------------------------------------------
+
+    def qos_guarantee(self) -> float:
+        """Fraction of intervals whose tail met the target."""
+        return qos_guarantee(self.tails_ms, self.target_latency_ms)
+
+    def qos_tardiness(self) -> float:
+        """Mean ``QoS_curr/QoS_target`` over violating intervals."""
+        return qos_tardiness(self.tails_ms, self.target_latency_ms)
+
+    def total_energy_j(self) -> float:
+        """Total system energy over the run, joules."""
+        return float(sum(o.energy_j for o in self._observations))
+
+    def mean_power_w(self) -> float:
+        """Mean system power over the run, watts."""
+        return float(np.mean(self.powers_w))
+
+    def energy_reduction_vs(self, baseline: "ExperimentResult") -> float:
+        """Fractional energy saving relative to a baseline run."""
+        base = baseline.total_energy_j()
+        if base <= 0:
+            raise ValueError("baseline consumed no energy")
+        return 1.0 - self.total_energy_j() / base
+
+    def migration_events(self) -> int:
+        """Number of intervals whose reconfiguration moved cores."""
+        return sum(1 for o in self._observations if o.migration_event)
+
+    def migrated_cores(self) -> int:
+        """Total cores moved in or out of the LC set over the run."""
+        return sum(o.migrated_cores for o in self._observations)
+
+    def batch_total_instructions(self) -> float:
+        """Instructions retired by batch jobs over the run."""
+        return float(sum(o.batch_instructions for o in self._observations))
+
+    def batch_mean_ips(self) -> float:
+        """Mean aggregate batch IPS over the run."""
+        duration = len(self) * self.interval_s
+        return self.batch_total_instructions() / duration
+
+    def windowed_qos_guarantee(self, window_s: float = 100.0) -> np.ndarray:
+        """QoS guarantee per non-overlapping time window (Figure 9)."""
+        per_window = max(int(window_s / self.interval_s), 1)
+        tails = self.tails_ms
+        met = tails <= self.target_latency_ms
+        n_windows = len(met) // per_window
+        if n_windows == 0:
+            return np.array([float(np.mean(met))])
+        trimmed = met[: n_windows * per_window]
+        return trimmed.reshape(n_windows, per_window).mean(axis=1)
+
+    def slice(self, start_s: float, end_s: float | None = None) -> "ExperimentResult":
+        """A sub-result covering ``[start_s, end_s)`` (e.g. post-learning)."""
+        end_s = end_s if end_s is not None else float("inf")
+        selected = [
+            o for o in self._observations if start_s <= o.t_start_s < end_s
+        ]
+        return ExperimentResult(
+            selected,
+            workload_name=self.workload_name,
+            manager_name=self.manager_name,
+            target_latency_ms=self.target_latency_ms,
+            interval_s=self.interval_s,
+        )

@@ -1,0 +1,100 @@
+"""Batch (throughput-oriented) workload models.
+
+HipsterCo collocates batch programs on the cores the latency-critical
+workload does not need, and observes them only through aggregate IPS from
+hardware counters (paper Section 3.2).  Each :class:`BatchProgram` is a
+two-parameter model: an IPC factor (compute throughput relative to the
+characterization microbenchmark) and a memory intensity in ``[0, 1]``.
+Per-core IPS follows a bottleneck law between the core's compute rate
+(which scales with IPC and frequency) and a frequency-independent memory
+ceiling -- so compute-bound programs (calculix) gain the full 2.6x from a
+big core at max DVFS while memory-bound ones (lbm, libquantum) barely
+move, exactly the spread the paper reports in Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cores import CoreType
+
+#: IPS ceiling imposed by DRAM bandwidth for a fully memory-bound program.
+MEMORY_CEILING_IPS = 1.1e9
+
+
+@dataclass(frozen=True)
+class BatchProgram:
+    """A throughput-oriented program (one SPEC CPU2006 benchmark).
+
+    Parameters
+    ----------
+    name:
+        Benchmark name, e.g. ``"lbm"``.
+    ipc_factor:
+        Compute-phase IPC relative to the stress microbenchmark's IPC.
+    mem_intensity:
+        Fraction of execution bound by memory, in ``[0, 1]``; also the
+        program's pressure contribution to the contention model.
+    """
+
+    name: str
+    ipc_factor: float
+    mem_intensity: float
+
+    def __post_init__(self) -> None:
+        if self.ipc_factor <= 0:
+            raise ValueError("ipc_factor must be positive")
+        if not 0.0 <= self.mem_intensity <= 1.0:
+            raise ValueError("mem_intensity must be within [0, 1]")
+
+    def ips(
+        self,
+        core_type: CoreType,
+        freq_ghz: float,
+        *,
+        throughput_factor: float = 1.0,
+    ) -> float:
+        """Instructions per second on one core of the given type.
+
+        The bottleneck law interpolates between the compute rate
+        ``ipc_factor * IPC_core * f`` and the memory ceiling according to
+        the program's memory intensity.  ``throughput_factor`` (<= 1)
+        applies contention degradation computed by
+        :class:`repro.sim.contention.ContentionModel`.
+        """
+        if not 0.0 < throughput_factor <= 1.0:
+            raise ValueError("throughput_factor must be within (0, 1]")
+        compute_ips = self.ipc_factor * core_type.microbench_ips(freq_ghz)
+        seconds_per_instr = (
+            (1.0 - self.mem_intensity) / compute_ips
+            + self.mem_intensity / MEMORY_CEILING_IPS
+        )
+        return throughput_factor / seconds_per_instr
+
+
+@dataclass(frozen=True)
+class BatchJobSet:
+    """The pool of batch jobs available for collocation.
+
+    The engine spawns one job per core left over by the latency-critical
+    workload (the paper's setup); job ``i`` runs ``programs[i % len]``, so
+    a single-program set replicates that program (Figure 11's per-program
+    runs) while a longer list gives a round-robin mix.
+    """
+
+    programs: tuple[BatchProgram, ...]
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise ValueError("a batch job set needs at least one program")
+
+    def program_for_job(self, job_index: int) -> BatchProgram:
+        """Program executed by the given job slot."""
+        if job_index < 0:
+            raise ValueError("job_index must be non-negative")
+        return self.programs[job_index % len(self.programs)]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Names of the programs in the set."""
+        return tuple(p.name for p in self.programs)

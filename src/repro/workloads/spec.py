@@ -1,0 +1,50 @@
+"""SPEC CPU2006 batch program definitions.
+
+The paper's Figure 11 collocates Web-Search with twelve SPEC CPU2006
+programs.  The ``(ipc_factor, mem_intensity)`` pairs below are synthetic
+stand-ins for the real binaries (which we cannot run), chosen from the
+well-known characterization literature so that the compute/memory spectrum
+matches: povray/namd/calculix are compute-bound (biggest big-core
+speedups; the paper reports calculix at 3.35x over static), while
+lbm/libquantum are memory-bound (smallest speedups, 1.6x for libquantum).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.batch import BatchJobSet, BatchProgram
+
+#: The twelve programs of the paper's Figure 11, in its plotting order.
+SPEC_CPU2006: tuple[BatchProgram, ...] = (
+    BatchProgram("povray", ipc_factor=1.05, mem_intensity=0.06),
+    BatchProgram("namd", ipc_factor=1.10, mem_intensity=0.08),
+    BatchProgram("gromacs", ipc_factor=0.95, mem_intensity=0.12),
+    BatchProgram("tonto", ipc_factor=0.90, mem_intensity=0.18),
+    BatchProgram("sjeng", ipc_factor=0.85, mem_intensity=0.22),
+    BatchProgram("calculix", ipc_factor=1.00, mem_intensity=0.05),
+    BatchProgram("cactusADM", ipc_factor=0.70, mem_intensity=0.55),
+    BatchProgram("lbm", ipc_factor=0.60, mem_intensity=0.90),
+    BatchProgram("astar", ipc_factor=0.65, mem_intensity=0.45),
+    BatchProgram("soplex", ipc_factor=0.60, mem_intensity=0.60),
+    BatchProgram("libquantum", ipc_factor=0.55, mem_intensity=0.85),
+    BatchProgram("zeusmp", ipc_factor=0.75, mem_intensity=0.50),
+)
+
+
+def spec_program(name: str) -> BatchProgram:
+    """Look up one SPEC CPU2006 program by name."""
+    for program in SPEC_CPU2006:
+        if program.name == name:
+            return program
+    raise KeyError(
+        f"unknown SPEC program {name!r}; available: {[p.name for p in SPEC_CPU2006]}"
+    )
+
+
+def spec_job_set(name: str) -> BatchJobSet:
+    """A job set replicating one program on every free core (Figure 11)."""
+    return BatchJobSet(programs=(spec_program(name),))
+
+
+def spec_mix() -> BatchJobSet:
+    """A round-robin mix of all twelve programs."""
+    return BatchJobSet(programs=SPEC_CPU2006)

@@ -1,0 +1,57 @@
+"""Web-Search workload model (Table 1 of the paper).
+
+The paper's Web-Search backend is an Elasticsearch instance indexing the
+English Wikipedia, queried with a Zipfian term distribution; QoS is the
+90th-percentile query latency with a 500 ms target, and the maximum load
+(44 QPS) is the highest load at which two big cores at maximum DVFS meet
+the target.
+
+Search queries burn tens of milliseconds of CPU each with moderate
+variance (posting-list lengths follow the Zipfian term popularity), and
+depend heavily on out-of-order execution, so small in-order cores pay a
+penalty beyond the raw IPC ratio.  The demand constants come from
+:mod:`repro.experiments.calibration` (same methodology as Memcached).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LatencyCriticalWorkload
+
+#: p90 target, ms (Table 1).
+WEBSEARCH_TARGET_MS = 500.0
+
+#: Queries per second at 100% load (Table 1).
+WEBSEARCH_MAX_QPS = 44.0
+
+#: Calibrated mean service demand on a big core @ 1.15 GHz, ms.
+WEBSEARCH_DEMAND_MEAN_MS = 28.48
+
+#: Log-normal sigma of the demand distribution (Zipfian posting lists).
+WEBSEARCH_DEMAND_SIGMA = 0.75
+
+#: Network + coordination latency floor, ms.
+WEBSEARCH_BASE_LATENCY_MS = 15.0
+
+
+def websearch() -> LatencyCriticalWorkload:
+    """The paper's Web-Search instance (p90 <= 500 ms at up to 44 QPS).
+
+    At 44 QPS the queue simulation is cheap, so no time dilation is used:
+    the replica serves the full query stream.
+    """
+    return LatencyCriticalWorkload(
+        name="websearch",
+        qos_percentile=0.90,
+        target_latency_ms=WEBSEARCH_TARGET_MS,
+        max_load_rps=WEBSEARCH_MAX_QPS,
+        demand_mean_ms=WEBSEARCH_DEMAND_MEAN_MS,
+        demand_sigma=WEBSEARCH_DEMAND_SIGMA,
+        base_latency_ms=WEBSEARCH_BASE_LATENCY_MS,
+        sim_scale=1.0,
+        small_core_penalty=1.10,
+        mem_intensity=0.4,
+        contention_sensitivity=0.9,
+        n_threads=4,
+        lc_ipc_fraction=0.85,
+        burstiness=2.5,
+    )

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.juno import juno_r1
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """The calibrated Juno R1 platform (immutable, shared)."""
+    return juno_r1()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,152 @@
+"""Unit tests for core/cluster models and the Table 2 calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cores import Cluster, CoreKind, CoreType
+from repro.hardware.juno import cortex_a53, cortex_a57, juno_r1
+from repro.hardware.microbench import characterize_platform
+
+
+class TestCoreType:
+    def test_big_core_identity(self):
+        a57 = cortex_a57()
+        assert a57.kind is CoreKind.BIG
+        assert a57.max_freq_ghz == 1.15
+        assert a57.min_freq_ghz == 0.60
+
+    def test_voltage_lookup(self):
+        a57 = cortex_a57()
+        assert a57.voltage(1.15) == 1.0
+        assert a57.voltage(0.60) == pytest.approx(0.80)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError, match="not an operating point"):
+            cortex_a57().voltage(1.0)
+
+    def test_dynamic_power_scales_with_utilization(self):
+        a57 = cortex_a57()
+        idle = a57.dynamic_power_w(1.15, 0.0)
+        full = a57.dynamic_power_w(1.15, 1.0)
+        assert 0 < idle < full
+        assert idle == pytest.approx(full * a57.idle_fraction)
+
+    def test_dynamic_power_drops_at_lower_dvfs(self):
+        a57 = cortex_a57()
+        assert a57.dynamic_power_w(0.60, 1.0) < a57.dynamic_power_w(1.15, 1.0)
+
+    def test_dynamic_power_fv2_scaling(self):
+        a57 = cortex_a57()
+        ratio = a57.dynamic_power_w(0.60, 1.0) / a57.dynamic_power_w(1.15, 1.0)
+        expected = (0.60 / 1.15) * (0.80 / 1.0) ** 2
+        assert ratio == pytest.approx(expected)
+
+    def test_utilization_bounds_enforced(self):
+        with pytest.raises(ValueError, match="utilization"):
+            cortex_a57().dynamic_power_w(1.15, 1.5)
+
+    def test_microbench_ips_is_ipc_times_frequency(self):
+        a53 = cortex_a53()
+        assert a53.microbench_ips(0.65) == pytest.approx(
+            a53.microbench_ipc * 0.65e9
+        )
+
+    def test_unsorted_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CoreType(
+                name="x",
+                kind=CoreKind.BIG,
+                microbench_ipc=1.0,
+                freqs_ghz=(1.0, 0.5),
+                voltage_by_freq={1.0: 1.0, 0.5: 0.8},
+                core_dynamic_w=1.0,
+            )
+
+    def test_missing_voltage_rejected(self):
+        with pytest.raises(ValueError, match="missing voltage"):
+            CoreType(
+                name="x",
+                kind=CoreKind.BIG,
+                microbench_ipc=1.0,
+                freqs_ghz=(0.5, 1.0),
+                voltage_by_freq={1.0: 1.0},
+                core_dynamic_w=1.0,
+            )
+
+
+class TestCluster:
+    def test_core_ids_use_prefix(self, platform):
+        assert platform.big.core_ids == ("B0", "B1")
+        assert platform.small.core_ids == ("S0", "S1", "S2", "S3")
+
+    def test_power_gating_saves_idle_power(self, platform):
+        big = platform.big
+        utils = {"B0": 1.0}
+        gated = big.power_w(1.15, utils, power_gate_idle=True)
+        ungated = big.power_w(1.15, utils, power_gate_idle=False)
+        assert gated < ungated
+
+    def test_unknown_core_id_rejected(self, platform):
+        with pytest.raises(ValueError, match="unknown core ids"):
+            platform.big.power_w(1.15, {"S0": 1.0})
+
+    def test_smp_efficiency_reduces_aggregate_ips(self, platform):
+        big = platform.big
+        one = big.aggregate_microbench_ips(1.15, 1)
+        two = big.aggregate_microbench_ips(1.15, 2)
+        assert two < 2 * one
+        assert two > 1.9 * one
+
+    def test_invalid_active_count_rejected(self, platform):
+        with pytest.raises(ValueError, match="n_active"):
+            platform.big.aggregate_microbench_ips(1.15, 3)
+
+    def test_bad_smp_efficiency_rejected(self):
+        with pytest.raises(ValueError, match="smp_efficiency"):
+            Cluster(
+                name="big",
+                core_type=cortex_a57(),
+                n_cores=2,
+                l2_kb=2048,
+                static_power_w=0.1,
+                smp_efficiency=1.5,
+            )
+
+
+class TestTable2Calibration:
+    """The model must reproduce the paper's Table 2 numbers exactly."""
+
+    def test_power_matches_paper(self, platform):
+        big, small = characterize_platform(platform)
+        assert big.power_all_cores_w == pytest.approx(2.30, abs=0.01)
+        assert big.power_one_core_w == pytest.approx(1.62, abs=0.01)
+        assert small.power_all_cores_w == pytest.approx(1.43, abs=0.01)
+        assert small.power_one_core_w == pytest.approx(0.95, abs=0.01)
+
+    def test_ips_matches_paper(self, platform):
+        big, small = characterize_platform(platform)
+        assert big.ips_all_cores == pytest.approx(4260e6, rel=0.001)
+        assert big.ips_one_core == pytest.approx(2138e6, rel=0.001)
+        assert small.ips_all_cores == pytest.approx(3298e6, rel=0.001)
+        assert small.ips_one_core == pytest.approx(826e6, rel=0.001)
+
+    def test_single_core_efficiency_claim(self, platform):
+        """Paper: a single big core is ~52% more IPS/W-efficient."""
+        big, small = characterize_platform(platform)
+        gain = big.efficiency_one_core / small.efficiency_one_core
+        assert gain == pytest.approx(1.52, abs=0.03)
+
+    def test_cluster_efficiency_claim(self, platform):
+        """Paper: the small cluster is ~25% more IPS/W-efficient."""
+        big, small = characterize_platform(platform)
+        gain = small.efficiency_all_cores / big.efficiency_all_cores
+        assert gain == pytest.approx(1.25, abs=0.03)
+
+    def test_tdp_covers_full_platform(self, platform):
+        assert platform.tdp_w == pytest.approx(
+            platform.rest_of_system_w
+            + platform.big.max_power_w()
+            + platform.small.max_power_w()
+        )
+        assert 2.5 < platform.tdp_w < 3.5

@@ -1,0 +1,114 @@
+"""Unit and property tests for load traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loadgen.diurnal import DiurnalTrace, diurnal_shape
+from repro.loadgen.traces import (
+    ConcatTrace,
+    ConstantTrace,
+    RampTrace,
+    SpikeTrace,
+    StepTrace,
+)
+
+
+class TestConstantAndStep:
+    def test_constant(self):
+        trace = ConstantTrace(0.5, 100)
+        assert trace.load_at(0) == trace.load_at(99.9) == 0.5
+        assert trace.n_intervals(1.0) == 100
+
+    def test_step_sequence(self):
+        trace = StepTrace([(10, 0.2), (5, 0.8)])
+        assert trace.duration_s == 15
+        assert trace.load_at(9.9) == 0.2
+        assert trace.load_at(10.0) == 0.8
+        assert trace.load_at(15.0) == 0.8  # clamped to the end
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            StepTrace([])
+        with pytest.raises(ValueError):
+            StepTrace([(0, 0.5)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantTrace(0.5, 10).load_at(-1)
+
+
+class TestRampAndSpike:
+    def test_figure8_ramp(self):
+        trace = RampTrace(start_level=0.5, end_level=1.0, ramp_s=175.0)
+        assert trace.load_at(0) == 0.5
+        assert trace.load_at(87.5) == pytest.approx(0.75)
+        assert trace.load_at(175.0) == 1.0
+
+    def test_ramp_with_lead_and_hold(self):
+        trace = RampTrace(0.2, 0.8, ramp_s=10, lead_s=5, hold_s=5)
+        assert trace.duration_s == 20
+        assert trace.load_at(4.9) == 0.2
+        assert trace.load_at(19.9) == 0.8
+
+    def test_spike(self):
+        trace = SpikeTrace(
+            base_level=0.3,
+            spike_level=0.9,
+            spike_start_s=10,
+            spike_duration_s=5,
+            duration_s=30,
+        )
+        assert trace.load_at(9.9) == 0.3
+        assert trace.load_at(12.0) == 0.9
+        assert trace.load_at(15.0) == 0.3
+
+    def test_concat(self):
+        trace = ConcatTrace([ConstantTrace(0.2, 10), RampTrace(0.5, 1.0, ramp_s=10)])
+        assert trace.duration_s == 20
+        assert trace.load_at(5) == 0.2
+        assert trace.load_at(10.0) == 0.5
+        assert trace.load_at(20.0) == 1.0
+
+
+class TestDiurnal:
+    def test_shape_spans_wide_range(self):
+        x = np.linspace(0, 1, 500)
+        shape = diurnal_shape(x)
+        assert float(np.min(shape)) < 0.15
+        assert float(np.max(shape)) > 0.85
+
+    def test_trace_respects_bounds(self):
+        trace = DiurnalTrace(duration_s=600, min_load=0.05, max_load=0.95)
+        loads = [trace.load_at(t) for t in range(600)]
+        assert all(0.0 <= load <= 1.0 for load in loads)
+        assert min(loads) < 0.2
+        assert max(loads) > 0.8
+
+    def test_same_seed_same_trace(self):
+        a = DiurnalTrace(duration_s=300, seed=5)
+        b = DiurnalTrace(duration_s=300, seed=5)
+        assert [a.load_at(t) for t in range(300)] == [b.load_at(t) for t in range(300)]
+
+    def test_different_seed_differs(self):
+        a = DiurnalTrace(duration_s=300, seed=5)
+        b = DiurnalTrace(duration_s=300, seed=6)
+        assert [a.load_at(t) for t in range(300)] != [b.load_at(t) for t in range(300)]
+
+    def test_noise_is_smooth(self):
+        """AR(1) noise: consecutive-second jumps stay small."""
+        trace = DiurnalTrace(duration_s=600, seed=3)
+        loads = np.array([trace.load_at(t) for t in range(600)])
+        assert float(np.max(np.abs(np.diff(loads)))) < 0.12
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalTrace(duration_s=100, min_load=0.9, max_load=0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(t=st.floats(min_value=0, max_value=10_000), seed=st.integers(0, 99))
+    def test_load_always_in_unit_interval(self, t, seed):
+        trace = DiurnalTrace(duration_s=1000, seed=seed)
+        assert 0.0 <= trace.load_at(min(t, trace.duration_s)) <= 1.0

@@ -1,0 +1,136 @@
+"""Tests for metrics helpers, reporting and the CLI plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ascii_table, series_block, sparkline, write_csv
+from repro.hardware.topology import Configuration
+from repro.loadgen.traces import ConstantTrace
+from repro.metrics import (
+    energy_reduction_percent,
+    mean_power_percent_of,
+    normalized_energy,
+    qos_guarantee_percent,
+    qos_violations_percent,
+    summarize,
+    tardiness_series,
+    throughput_per_watt,
+    violation_run_lengths,
+)
+from repro.policies.static import StaticPolicy, static_all_big, static_all_small
+from repro.sim.engine import run_experiment
+from repro.workloads.websearch import websearch
+
+
+@pytest.fixture(scope="module")
+def sample_runs(platform):
+    trace = ConstantTrace(0.5, 20)
+    big = run_experiment(platform, websearch(), trace, static_all_big(platform), seed=3)
+    small = run_experiment(
+        platform, websearch(), trace, static_all_small(platform), seed=3
+    )
+    return big, small
+
+
+@pytest.fixture(scope="session")
+def platform():
+    from repro.hardware.juno import juno_r1
+
+    return juno_r1()
+
+
+class TestMetrics:
+    def test_guarantee_and_violations_sum_to_100(self, sample_runs):
+        big, _ = sample_runs
+        assert qos_guarantee_percent(big) + qos_violations_percent(big) == pytest.approx(
+            100.0
+        )
+
+    def test_energy_reduction_antisymmetry(self, sample_runs):
+        big, small = sample_runs
+        assert energy_reduction_percent(small, big) > 0
+        assert normalized_energy(small, big) < 1.0
+        assert normalized_energy(big, big) == pytest.approx(1.0)
+
+    def test_throughput_per_watt_positive(self, sample_runs):
+        big, _ = sample_runs
+        assert throughput_per_watt(big) > 0
+
+    def test_power_percent(self, sample_runs):
+        big, _ = sample_runs
+        percent = mean_power_percent_of(big, reference_w=big.powers_w.max())
+        assert np.all(percent <= 100.0 + 1e-9)
+
+    def test_tardiness_series_shape(self, sample_runs):
+        big, _ = sample_runs
+        series = tardiness_series(big)
+        assert series.shape == big.tails_ms.shape
+
+    def test_violation_run_lengths(self, platform):
+        # Force violations with an undersized config at high load.
+        result = run_experiment(
+            platform, websearch(), ConstantTrace(1.0, 15),
+            StaticPolicy(Configuration(0, 1, None, 0.65)), seed=3,
+        )
+        runs = violation_run_lengths(result)
+        assert runs and runs[0] >= 2  # sustained overload
+
+    def test_summary_render(self, sample_runs):
+        big, small = sample_runs
+        summary = summarize(small, big)
+        text = summary.render()
+        assert "static-small" in text
+        assert "QoS" in text
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[1:2])) == 1
+
+    def test_sparkline_width(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 40
+        assert sparkline([]) == ""
+
+    def test_sparkline_flat_series(self):
+        line = sparkline([5.0] * 10, width=10)
+        assert line == " " * 10
+
+    def test_series_block_annotations(self):
+        block = series_block("power", [1.0, 2.0], unit="W")
+        assert "min=1" in block and "max=2" in block
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["x", "y"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert content[1:] == ["1,2", "3,4"]
+
+
+class TestCli:
+    def test_parser_accepts_known_experiments(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["fig2", "--workload", "websearch", "--quick"])
+        assert args.experiment == "fig2"
+        assert args.workload == "websearch"
+        assert args.quick is True
+
+    def test_parser_rejects_unknown(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4"])
+
+    def test_table2_end_to_end(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Cortex-A57" in out
