@@ -1,0 +1,88 @@
+"""Micro-benchmark: vectorized vs per-request queue kernel.
+
+``DispatchQueue.run_interval`` used to service requests one-by-one in a
+Python loop; it now evaluates the FCFS Lindley recursion vectorized.
+This benchmark records both kernels on identical inputs at increasing
+arrival counts and asserts the headline speedup the refactor promises:
+>= 5x at 10k+ requests per interval.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.sim.queueing import (
+    DispatchQueue,
+    lindley_completion_times,
+    lindley_completion_times_reference,
+)
+
+
+def _kernel_inputs(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, 1.0, size=n))
+    service = rng.exponential(1.0 / n, size=n)  # ~unit utilization
+    return arrivals, service
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.benchmark(group="queue-kernel")
+@pytest.mark.parametrize("n", [1_000, 10_000, 100_000])
+def test_vectorized_kernel(benchmark, n):
+    """Throughput of the new kernel (the benchmark-tracked number)."""
+    arrivals, service = _kernel_inputs(n)
+    result = benchmark(lindley_completion_times, arrivals, service, 0.0)
+    np.testing.assert_allclose(
+        result,
+        lindley_completion_times_reference(arrivals, service, 0.0),
+        rtol=1e-9,
+    )
+
+
+@pytest.mark.benchmark(group="queue-kernel")
+def test_reference_kernel_10k(benchmark):
+    """Throughput of the seed's per-request loop, for the old-vs-new record."""
+    arrivals, service = _kernel_inputs(10_000)
+    benchmark.pedantic(
+        lindley_completion_times_reference,
+        args=(arrivals, service, 0.0),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_speedup_at_high_arrival_counts():
+    """Acceptance criterion: >= 5x at >= 10k requests/interval."""
+    arrivals, service = _kernel_inputs(10_000)
+    old = _best_of(lambda: lindley_completion_times_reference(arrivals, service, 0.0))
+    new = _best_of(lambda: lindley_completion_times(arrivals, service, 0.0))
+    speedup = old / new
+    print(f"\nqueue kernel speedup at 10k arrivals: {speedup:.1f}x")
+    assert speedup >= 5.0
+
+
+@pytest.mark.benchmark(group="queue-kernel")
+def test_run_interval_end_to_end_10k(benchmark):
+    """The kernel inside its real call path: one loaded interval with
+    ~10k arrivals across six heterogeneous servers."""
+
+    def one_interval():
+        queue = DispatchQueue(rng=np.random.default_rng(7), balance_exponent=0.55)
+        queue.reconfigure([1.0, 1.0, 0.4, 0.4, 0.4, 0.4], now=0.0)
+        return queue.run_interval(
+            0.0, 1.0, 10_000.0, lambda rng, n: rng.exponential(3e-4, size=n)
+        )
+
+    stats = benchmark.pedantic(one_interval, rounds=3, iterations=1)
+    assert stats.arrivals > 5_000

@@ -7,7 +7,9 @@ The package is organized as the paper's system plus everything it runs on:
 * :mod:`repro.workloads` -- Memcached / Web-Search service models and
   SPEC CPU2006 batch program models;
 * :mod:`repro.loadgen` -- diurnal / ramp / spike load traces;
-* :mod:`repro.sim` -- the queueing substrate and interval co-simulator;
+* :mod:`repro.sim` -- the queueing substrate, interval co-simulator and
+  the parallel :class:`~repro.sim.batch.BatchRunner`;
+* :mod:`repro.scenarios` -- declarative scenario specs and the registry;
 * :mod:`repro.core` -- Hipster itself (heuristic mapper + Q-learning);
 * :mod:`repro.policies` -- Octopus-Man and static baselines;
 * :mod:`repro.metrics` -- QoS guarantee / tardiness / energy summaries;
@@ -49,7 +51,13 @@ from repro.policies import (
     static_all_big,
     static_all_small,
 )
-from repro.sim import ExperimentResult, IntervalSimulator, run_experiment
+from repro.scenarios import (
+    DEFAULT_REGISTRY,
+    ScenarioOutcome,
+    ScenarioSpec,
+    TraceSpec,
+)
+from repro.sim import BatchRunner, ExperimentResult, IntervalSimulator, run_experiment
 from repro.workloads import (
     BatchJobSet,
     BatchProgram,
@@ -64,6 +72,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchJobSet",
+    "BatchRunner",
+    "DEFAULT_REGISTRY",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "TraceSpec",
     "ConcatTrace",
     "BatchProgram",
     "Configuration",

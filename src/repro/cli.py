@@ -6,10 +6,13 @@ Usage::
     hipster-repro fig2 --workload websearch
     hipster-repro fig11 --quick --seed 7
     hipster-repro calibrate
-    hipster-repro all --quick
+    hipster-repro all --quick --jobs 4 --cache-dir .hipster-cache
 
 ``--quick`` compresses run lengths (CI-friendly); without it the runs
-match the paper's durations.
+match the paper's durations.  ``--jobs N`` fans each experiment's
+scenario batch out over N worker processes, and ``--cache-dir`` reuses
+previously computed results keyed by scenario fingerprint, so repeated
+``all`` invocations only re-run what changed.
 """
 
 from __future__ import annotations
@@ -22,10 +25,15 @@ from repro.experiments import EXPERIMENTS
 from repro.experiments.calibration import calibrate_demand
 from repro.experiments.runner import DEFAULT_SEED
 from repro.hardware.juno import juno_r1
+from repro.sim.batch import BatchRunner
 from repro.workloads.memcached import memcached
 from repro.workloads.websearch import websearch
 
+#: Experiments that take a workload argument; for every other experiment
+#: passing ``--workload`` is an error (it would be silently ignored).
 _WORKLOAD_EXPERIMENTS = {"fig2", "fig5"}
+
+_DEFAULT_WORKLOAD = "memcached"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,8 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workload",
         choices=["memcached", "websearch"],
-        default="memcached",
-        help="workload for per-workload experiments (fig2, fig5)",
+        default=None,
+        help=(
+            "workload for per-workload experiments "
+            f"({', '.join(sorted(_WORKLOAD_EXPERIMENTS))}); "
+            f"default {_DEFAULT_WORKLOAD}"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="compressed run lengths (CI-friendly)"
@@ -51,27 +63,42 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED, help="experiment seed"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for scenario batches (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache scenario results on disk; re-runs only what changed",
+    )
     return parser
 
 
-def _run_one(name: str, args: argparse.Namespace) -> str:
+def _run_one(name: str, args: argparse.Namespace, runner: BatchRunner) -> str:
+    """Run one experiment module with the shared batch runner."""
     module = EXPERIMENTS[name]
-    kwargs: dict[str, object] = {"quick": args.quick}
     if name in _WORKLOAD_EXPERIMENTS:
-        result = module.run(args.workload, quick=args.quick, seed=args.seed)
-    elif name == "table2":
-        result = module.run(quick=args.quick)
+        result = module.run(
+            args.workload or _DEFAULT_WORKLOAD,
+            quick=args.quick,
+            seed=args.seed,
+            runner=runner,
+        )
     else:
-        result = module.run(quick=args.quick, seed=args.seed)
-    del kwargs
+        result = module.run(quick=args.quick, seed=args.seed, runner=runner)
     return result.render()
 
 
-def _run_calibration() -> str:
+def _run_calibration(runner: BatchRunner) -> str:
     platform = juno_r1()
     lines = ["Calibration (Table 1 methodology):"]
     for workload in (memcached(), websearch()):
-        outcome = calibrate_demand(platform, workload)
+        outcome = calibrate_demand(platform, workload, runner=runner)
         lines.append(
             f"  {outcome.workload_name}: demand_mean_ms={outcome.demand_mean_ms:.5f} "
             f"edge_tail={outcome.edge_tail_ms:.2f} ms "
@@ -82,16 +109,38 @@ def _run_calibration() -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.cache_dir is not None:
+        from pathlib import Path
+
+        if Path(args.cache_dir).exists() and not Path(args.cache_dir).is_dir():
+            parser.error(f"--cache-dir {args.cache_dir!r} exists and is not a directory")
+    workload_aware = args.experiment in _WORKLOAD_EXPERIMENTS or args.experiment == "all"
+    if args.workload is not None and not workload_aware:
+        parser.error(
+            f"--workload only applies to {', '.join(sorted(_WORKLOAD_EXPERIMENTS))} "
+            f"(and 'all'); '{args.experiment}' ignores it"
+        )
+
+    runner = BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     if args.experiment == "calibrate":
-        print(_run_calibration())
+        print(_run_calibration(runner))
         return 0
     if args.experiment == "all":
         for name in sorted(EXPERIMENTS):
             print(f"\n=== {name} ===")
-            print(_run_one(name, args))
+            print(_run_one(name, args, runner))
+        if runner.cache_dir is not None:
+            print(
+                f"\n[cache] {runner.cache_hits} hit(s), "
+                f"{runner.cache_misses} miss(es) in {runner.cache_dir}",
+                file=sys.stderr,
+            )
         return 0
-    print(_run_one(args.experiment, args))
+    print(_run_one(args.experiment, args, runner))
     return 0
 
 

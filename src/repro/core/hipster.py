@@ -194,6 +194,10 @@ class Hipster(TaskManager):
         """How many times the phase changed during the run."""
         return self._phase_switches
 
+    def scenario_stats(self) -> dict[str, float | int]:
+        """Instance state the figures need back from scenario workers."""
+        return {"phase_switches": self._phase_switches}
+
     @property
     def table(self) -> LookupTable:
         """The lookup table (available after :meth:`start`)."""

@@ -1,9 +1,17 @@
 """Experiment harness: one module per table and figure of the paper.
 
-Every module exposes ``run(*, quick=False, seed=...)`` returning a result
-object with a ``render()`` method (plain-text tables/sparklines) plus the
-derived quantities its tests and benchmarks assert on.  ``quick=True``
-compresses run lengths for CI; the full setting matches the paper's.
+Every module exposes ``run(*, quick=False, seed=..., runner=None)``
+returning a result object with a ``render()`` method (plain-text
+tables/sparklines) plus the derived quantities its tests and benchmarks
+assert on.  ``quick=True`` compresses run lengths for CI; the full
+setting matches the paper's.
+
+Modules declare their runs as :class:`~repro.scenarios.spec.ScenarioSpec`
+grids (via :data:`repro.scenarios.DEFAULT_REGISTRY`) and execute them
+through the ``runner`` -- a :class:`~repro.sim.batch.BatchRunner` --
+so a shared runner parallelizes every figure's scenario batch over
+worker processes and caches results across invocations.  Passing
+``runner=None`` gets a serial, uncached run with identical output.
 
 =================================================  =======================
 module                                             paper artifact

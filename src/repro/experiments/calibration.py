@@ -16,14 +16,14 @@ touches 100%), while any sustained overload is promptly visible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields
 
 import numpy as np
 
 from repro.hardware.soc import Platform
-from repro.loadgen.traces import ConstantTrace
-from repro.policies.static import static_all_big
-from repro.sim.engine import run_experiment
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.scenarios.factories import build_platform, build_workload
+from repro.sim.batch import BatchRunner, get_runner
 from repro.workloads.base import LatencyCriticalWorkload
 
 #: Quantile of per-interval tails pinned to the target at 100% load.
@@ -56,15 +56,33 @@ def edge_tail_ms(
     duration_s: float = 240.0,
     seed: int = 2017,
     quantile: float = EDGE_QUANTILE,
+    runner: BatchRunner | None = None,
 ) -> float:
-    """The ``quantile`` of per-interval tails at 100% load on ``2B-max``."""
-    result = run_experiment(
-        platform,
-        workload,
-        ConstantTrace(1.0, duration_s),
-        static_all_big(platform),
-        seed=seed,
-    )
+    """The ``quantile`` of per-interval tails at 100% load on ``2B-max``.
+
+    Runs through the ``edge-load`` scenario family (so calibration probes
+    share the batch runner's cache).  The scenario re-derives the
+    workload from its registry name plus every field on which
+    ``workload`` deviates from the stock instance, so arbitrary
+    ``with_overrides`` variants calibrate faithfully; ``platform`` must
+    equal the registry's Juno R1 (specs name platforms, they cannot
+    carry a modified instance).
+    """
+    if platform != build_platform("juno_r1"):
+        raise ValueError(
+            "edge_tail_ms runs through the scenario registry, whose only "
+            f"platform is the stock Juno R1; got a modified {platform.name!r}"
+        )
+    stock = build_workload(workload.name)
+    overrides = {
+        f.name: getattr(workload, f.name)
+        for f in dataclass_fields(workload)
+        if f.init and getattr(workload, f.name) != getattr(stock, f.name)
+    }
+    spec = DEFAULT_REGISTRY.build(
+        "edge-load", workload=workload.name, duration_s=duration_s, seed=seed
+    ).with_(workload_params=overrides)
+    (result,) = get_runner(runner).results([spec])
     return float(np.quantile(result.tails_ms, quantile))
 
 
@@ -75,6 +93,7 @@ def calibrate_demand(
     duration_s: float = 240.0,
     seed: int = 2017,
     iterations: int = 18,
+    runner: BatchRunner | None = None,
 ) -> CalibrationResult:
     """Bisect the mean service demand until 100% load sits at the edge.
 
@@ -90,14 +109,16 @@ def calibrate_demand(
         mid = float(np.sqrt(lo * hi))  # geometric: demand spans decades
         candidate = workload.with_overrides(demand_mean_ms=mid)
         tail = edge_tail_ms(
-            platform, candidate, duration_s=duration_s, seed=seed
+            platform, candidate, duration_s=duration_s, seed=seed, runner=runner
         )
         if tail > target:
             hi = mid
         else:
             lo = mid
     calibrated = workload.with_overrides(demand_mean_ms=mid)
-    achieved = edge_tail_ms(platform, calibrated, duration_s=duration_s, seed=seed + 1)
+    achieved = edge_tail_ms(
+        platform, calibrated, duration_s=duration_s, seed=seed + 1, runner=runner
+    )
     return CalibrationResult(
         workload_name=workload.name,
         demand_mean_ms=mid,
@@ -114,6 +135,7 @@ def validate_frozen_calibration(
     duration_s: float = 240.0,
     seed: int = 99,
     tolerance: float = VALIDATION_TOLERANCE,
+    runner: BatchRunner | None = None,
 ) -> CalibrationResult:
     """Check that a workload's frozen constants still sit at the edge.
 
@@ -121,7 +143,9 @@ def validate_frozen_calibration(
     ``tolerance`` from the target -- the signal that the frozen
     ``demand_mean_ms`` no longer matches the platform model.
     """
-    achieved = edge_tail_ms(platform, workload, duration_s=duration_s, seed=seed)
+    achieved = edge_tail_ms(
+        platform, workload, duration_s=duration_s, seed=seed, runner=runner
+    )
     result = CalibrationResult(
         workload_name=workload.name,
         demand_mean_ms=workload.demand_mean_ms,

@@ -14,11 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.reporting import ascii_table, series_block
-from repro.experiments.runner import DEFAULT_SEED, diurnal_for
-from repro.hardware.juno import juno_r1
-from repro.policies.static import static_all_big
-from repro.sim.engine import run_experiment
-from repro.workloads.websearch import websearch
+from repro.experiments.runner import DEFAULT_SEED
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
 
 
 @dataclass(frozen=True)
@@ -57,14 +55,21 @@ class Fig1Result:
         )
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Fig1Result:
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> Fig1Result:
     """Regenerate Figure 1."""
-    platform = juno_r1()
-    workload = websearch()
-    trace = diurnal_for(workload, quick=quick)
-    result = run_experiment(
-        platform, workload, trace, static_all_big(platform), seed=seed
+    spec = DEFAULT_REGISTRY.build(
+        "diurnal-policy",
+        workload="websearch",
+        manager="static-big",
+        quick=quick,
+        seed=seed,
     )
+    (result,) = get_runner(runner).results([spec])
     power = result.powers_w
     return Fig1Result(
         times_s=result.times_s,

@@ -20,15 +20,14 @@ import numpy as np
 from repro.experiments.reporting import ascii_table
 from repro.experiments.runner import DEFAULT_SEED, workload_by_name
 from repro.hardware.juno import juno_r1
-from repro.hardware.soc import KernelConfig, Platform
 from repro.hardware.topology import (
     Configuration,
     enumerate_configurations,
     octopus_man_ladder,
 )
-from repro.loadgen.traces import ConstantTrace
-from repro.policies.static import StaticPolicy
-from repro.sim.engine import run_experiment
+from repro.scenarios import DEFAULT_REGISTRY, ScenarioSpec
+from repro.sim.batch import BatchRunner, get_runner
+from repro.sim.records import ExperimentResult
 from repro.workloads.base import LatencyCriticalWorkload, capacity_rps
 
 #: Load levels swept (fraction of max), spanning the paper's 13 columns.
@@ -105,30 +104,48 @@ class Fig2Result:
         )
 
 
-def best_configuration(
-    platform: Platform,
+def candidate_specs(
     workload: LatencyCriticalWorkload,
+    platform,
     load: float,
     configs: tuple[Configuration, ...],
     *,
-    duration_s: float = 40.0,
-    seed: int = DEFAULT_SEED,
-) -> LoadLevelChoice | None:
-    """Least-power QoS-meeting configuration at one steady load level."""
-    kernel = KernelConfig(cpuidle_enabled=True)
+    duration_s: float,
+    seed: int,
+) -> tuple[tuple[Configuration, ...], list[ScenarioSpec]]:
+    """Capacity-eligible configurations at a load level, plus their specs.
+
+    Configurations whose aggregate capacity cannot possibly meet any
+    latency target at the offered demand are pruned before simulation.
+    """
     demand = load * workload.max_load_rps
-    best: LoadLevelChoice | None = None
-    for config in configs:
-        if capacity_rps(workload, platform, config) < demand * 0.9:
-            continue  # cannot possibly meet any latency target
-        result = run_experiment(
-            platform,
-            workload,
-            ConstantTrace(load, duration_s),
-            StaticPolicy(config),
-            kernel=kernel,
+    eligible = tuple(
+        config
+        for config in configs
+        if capacity_rps(workload, platform, config) >= demand * 0.9
+    )
+    specs = [
+        DEFAULT_REGISTRY.build(
+            "steady-config",
+            workload=workload.name,
+            config_label=config.label,
+            load=load,
+            duration_s=duration_s,
             seed=seed,
         )
+        for config in eligible
+    ]
+    return eligible, specs
+
+
+def pick_winner(
+    load: float,
+    eligible: tuple[Configuration, ...],
+    results: list[ExperimentResult],
+) -> LoadLevelChoice | None:
+    """Least-power QoS-meeting configuration among evaluated candidates."""
+    best: LoadLevelChoice | None = None
+    for config, result in zip(eligible, results):
         if result.qos_guarantee() < QOS_PASS_FRACTION:
             continue
         power = result.mean_power_w()
@@ -142,14 +159,37 @@ def best_configuration(
     return best
 
 
+def best_configuration(
+    platform,
+    workload: LatencyCriticalWorkload,
+    load: float,
+    configs: tuple[Configuration, ...],
+    *,
+    duration_s: float = 40.0,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> LoadLevelChoice | None:
+    """Least-power QoS-meeting configuration at one steady load level."""
+    eligible, specs = candidate_specs(
+        workload, platform, load, configs, duration_s=duration_s, seed=seed
+    )
+    return pick_winner(load, eligible, get_runner(runner).results(specs))
+
+
 def run(
     workload_name: str = "memcached",
     *,
     quick: bool = False,
     seed: int = DEFAULT_SEED,
     loads: tuple[float, ...] = PAPER_LOAD_LEVELS,
+    runner: BatchRunner | None = None,
 ) -> Fig2Result:
-    """Regenerate Figure 2a/2b (and the Figure 2c state machine)."""
+    """Regenerate Figure 2a/2b (and the Figure 2c state machine).
+
+    The whole (policy space x load level x configuration) grid is
+    declared up front and dispatched as one batch, so ``--jobs N``
+    parallelizes the sweep; winners are picked from the returned results.
+    """
     platform = juno_r1()
     workload = workload_by_name(workload_name)
     duration = 20.0 if quick else 40.0
@@ -157,20 +197,27 @@ def run(
     baseline_set = octopus_man_ladder(platform)
     if quick:
         loads = loads[::2]
-    hetcmp = tuple(
-        best_configuration(
-            platform, workload, load, space, duration_s=duration, seed=seed
-        )
-        for load in loads
-    )
-    baseline = tuple(
-        best_configuration(
-            platform, workload, load, baseline_set, duration_s=duration, seed=seed
-        )
-        for load in loads
-    )
+
+    grid: list[tuple[str, float, tuple[Configuration, ...], list[ScenarioSpec]]] = []
+    for policy_space, configs in (("hetcmp", space), ("baseline", baseline_set)):
+        for load in loads:
+            eligible, specs = candidate_specs(
+                workload, platform, load, configs, duration_s=duration, seed=seed
+            )
+            grid.append((policy_space, load, eligible, specs))
+
+    all_specs = [spec for _, _, _, specs in grid for spec in specs]
+    all_results = iter(get_runner(runner).results(all_specs))
+    winners: dict[str, list[LoadLevelChoice | None]] = {"hetcmp": [], "baseline": []}
+    for policy_space, load, eligible, specs in grid:
+        results = [next(all_results) for _ in specs]
+        winners[policy_space].append(pick_winner(load, eligible, results))
+
     return Fig2Result(
-        workload_name=workload_name, hetcmp=hetcmp, baseline=baseline, loads=loads
+        workload_name=workload_name,
+        hetcmp=tuple(winners["hetcmp"]),
+        baseline=tuple(winners["baseline"]),
+        loads=loads,
     )
 
 

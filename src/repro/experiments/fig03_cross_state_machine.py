@@ -24,13 +24,10 @@ from repro.experiments.fig02_efficiency import (
     run as run_fig2,
 )
 from repro.experiments.reporting import ascii_table
-from repro.experiments.runner import DEFAULT_SEED, workload_by_name
-from repro.hardware.juno import juno_r1
-from repro.hardware.soc import KernelConfig
-from repro.hardware.topology import config_by_label, enumerate_configurations
-from repro.loadgen.traces import ConstantTrace
-from repro.policies.static import StaticPolicy
-from repro.sim.engine import run_experiment
+from repro.experiments.runner import DEFAULT_SEED
+from repro.scenarios import DEFAULT_REGISTRY, ScenarioSpec
+from repro.sim.batch import BatchRunner, get_runner
+from repro.sim.records import ExperimentResult
 
 
 @dataclass(frozen=True)
@@ -85,71 +82,80 @@ class Fig3Result:
         return "\n\n".join(blocks)
 
 
-def _evaluate(
-    platform, workload, load: float, config, *, duration_s: float, seed: int
-) -> tuple[float, bool]:
-    """(throughput per watt, QoS met) for a config at a steady load."""
-    result = run_experiment(
-        platform,
-        workload,
-        ConstantTrace(load, duration_s),
-        StaticPolicy(config),
-        kernel=KernelConfig(cpuidle_enabled=True),
+def _steady_spec(
+    workload_name: str, load: float, label: str, *, duration_s: float, seed: int
+) -> ScenarioSpec:
+    return DEFAULT_REGISTRY.build(
+        "steady-config",
+        workload=workload_name,
+        config_label=label,
+        load=load,
+        duration_s=duration_s,
         seed=seed,
     )
+
+
+def _efficiency(result: ExperimentResult) -> tuple[float, bool]:
+    """(throughput per watt, QoS met) of one steady-load evaluation."""
     power = result.mean_power_w()
     return float(np.mean(result.arrival_rps)) / power, result.qos_guarantee() >= 0.9
 
 
 def _cross_rows(
-    platform,
-    workload,
+    workload_name: str,
     own: Fig2Result,
     foreign: Fig2Result,
     *,
     duration_s: float,
     seed: int,
+    runner: BatchRunner | None,
 ) -> tuple[CrossRow, ...]:
-    space = enumerate_configurations(platform, max_total_cores=4)
+    """Own-vs-foreign rows, batched: every candidate along the foreign
+    escalation walk is declared up front and dispatched together; the
+    walk itself (stop at the first QoS-meeting candidate, as the foreign
+    danger-zone controller would) is applied to the returned results."""
     foreign_machine = [c for c in foreign.hetcmp if c is not None]
-    rows = []
+    pending: list[tuple[float, str, list[str]]] = []
+    specs: list[ScenarioSpec] = []
     for own_choice, foreign_choice in zip(own.hetcmp, foreign.hetcmp):
         if own_choice is None or foreign_choice is None:
             continue
         load = own_choice.load
-        own_eff, _ = _evaluate(
-            platform,
-            workload,
-            load,
-            config_by_label(space, own_choice.config_label),
-            duration_s=duration_s,
-            seed=seed,
-        )
-        # Walk up the foreign machine until QoS is met, as its danger-zone
-        # controller would after a violation.
         start = next(
             i
             for i, c in enumerate(foreign_machine)
             if c.config_label == foreign_choice.config_label
         )
-        foreign_eff = 0.0
-        foreign_label = foreign_choice.config_label
-        for candidate in foreign_machine[start:]:
-            eff, met = _evaluate(
-                platform,
-                workload,
+        candidates = [c.config_label for c in foreign_machine[start:]]
+        specs.append(
+            _steady_spec(
+                workload_name,
                 load,
-                config_by_label(space, candidate.config_label),
+                own_choice.config_label,
                 duration_s=duration_s,
                 seed=seed,
             )
-            foreign_eff, foreign_label = eff, candidate.config_label
+        )
+        specs.extend(
+            _steady_spec(workload_name, load, label, duration_s=duration_s, seed=seed)
+            for label in candidates
+        )
+        pending.append((load, own_choice.config_label, candidates))
+
+    results = iter(get_runner(runner).results(specs))
+    rows = []
+    for load, own_label, candidates in pending:
+        own_eff, _ = _efficiency(next(results))
+        candidate_evals = [_efficiency(next(results)) for _ in candidates]
+        foreign_eff, foreign_label = 0.0, candidates[0] if candidates else own_label
+        for label, (eff, met) in zip(candidates, candidate_evals):
+            foreign_eff, foreign_label = eff, label
             if met:
                 break
         rows.append(
             CrossRow(
                 load=load,
-                own_config=own_choice.config_label,
+                own_config=own_label,
                 foreign_config=foreign_label,
                 efficiency_ratio=foreign_eff / own_eff if own_eff > 0 else 0.0,
             )
@@ -162,28 +168,18 @@ def run(
     quick: bool = False,
     seed: int = DEFAULT_SEED,
     loads: tuple[float, ...] = PAPER_LOAD_LEVELS,
+    runner: BatchRunner | None = None,
 ) -> Fig3Result:
     """Regenerate Figure 3 from fresh Figure 2 sweeps."""
-    platform = juno_r1()
     duration = 20.0 if quick else 40.0
-    mc = run_fig2("memcached", quick=quick, seed=seed, loads=loads)
-    ws = run_fig2("websearch", quick=quick, seed=seed, loads=loads)
+    mc = run_fig2("memcached", quick=quick, seed=seed, loads=loads, runner=runner)
+    ws = run_fig2("websearch", quick=quick, seed=seed, loads=loads, runner=runner)
     return Fig3Result(
         memcached_rows=_cross_rows(
-            platform,
-            workload_by_name("memcached"),
-            mc,
-            ws,
-            duration_s=duration,
-            seed=seed,
+            "memcached", mc, ws, duration_s=duration, seed=seed, runner=runner
         ),
         websearch_rows=_cross_rows(
-            platform,
-            workload_by_name("websearch"),
-            ws,
-            mc,
-            duration_s=duration,
-            seed=seed,
+            "websearch", ws, mc, duration_s=duration, seed=seed, runner=runner
         ),
     )
 

@@ -12,15 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.heuristic import HipsterHeuristicPolicy
 from repro.experiments.reporting import ascii_table, series_block
-from repro.experiments.runner import DEFAULT_SEED, diurnal_for, workload_by_name
-from repro.hardware.juno import juno_r1
+from repro.experiments.runner import DEFAULT_SEED
 from repro.metrics.summary import PolicySummary, summarize
-from repro.policies.octopusman import OctopusMan
-from repro.policies.static import static_all_big
-from repro.sim.engine import run_experiment
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
 from repro.sim.records import ExperimentResult
+
+#: The heuristic-family line-up of Figure 5.
+FIG5_POLICIES = ("static-big", "octopus-man", "hipster-heuristic")
 
 
 @dataclass(frozen=True)
@@ -84,21 +84,25 @@ class Fig5Result:
 
 
 def run(
-    workload_name: str = "memcached", *, quick: bool = False, seed: int = DEFAULT_SEED
+    workload_name: str = "memcached",
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
 ) -> Fig5Result:
     """Regenerate one row of Figure 5."""
-    platform = juno_r1()
-    workload = workload_by_name(workload_name)
-    trace = diurnal_for(workload, quick=quick)
-    managers = {
-        "static-big": static_all_big(platform),
-        "octopus-man": OctopusMan(),
-        "hipster-heuristic": HipsterHeuristicPolicy(),
-    }
-    runs = {
-        name: run_experiment(platform, workload, trace, manager, seed=seed)
-        for name, manager in managers.items()
-    }
+    specs = [
+        DEFAULT_REGISTRY.build(
+            "diurnal-policy",
+            workload=workload_name,
+            manager=manager,
+            quick=quick,
+            seed=seed,
+        )
+        for manager in FIG5_POLICIES
+    ]
+    results = get_runner(runner).results(specs)
+    runs = dict(zip(FIG5_POLICIES, results))
     summaries = {name: summarize(result) for name, result in runs.items()}
     return Fig5Result(workload_name=workload_name, runs=runs, summaries=summaries)
 

@@ -10,17 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.hipster import Hipster
 from repro.experiments.reporting import ascii_table, series_block
-from repro.experiments.runner import (
-    DEFAULT_SEED,
-    diurnal_for,
-    hipster_in_for,
-    learning_seconds,
-    workload_by_name,
-)
-from repro.hardware.juno import juno_r1
-from repro.sim.engine import run_experiment
+from repro.experiments.runner import DEFAULT_SEED, learning_seconds
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
 from repro.sim.records import ExperimentResult
 
 WORKLOAD_NAME = "memcached"
@@ -95,26 +88,37 @@ class HipsterTraceResult:
 
 
 def run_hipster_trace(
-    workload_name: str, *, quick: bool = False, seed: int = DEFAULT_SEED
+    workload_name: str,
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
 ) -> HipsterTraceResult:
     """Shared driver for Figures 6 and 7."""
-    platform = juno_r1()
-    workload = workload_by_name(workload_name)
-    trace = diurnal_for(workload, quick=quick)
-    manager = hipster_in_for(quick=quick)
-    result = run_experiment(platform, workload, trace, manager, seed=seed)
-    assert isinstance(manager, Hipster)
+    spec = DEFAULT_REGISTRY.build(
+        "diurnal-policy",
+        workload=workload_name,
+        manager="hipster-in",
+        quick=quick,
+        seed=seed,
+    )
+    outcome = get_runner(runner).run_one(spec)
     return HipsterTraceResult(
         workload_name=workload_name,
-        result=result,
+        result=outcome.result,
         learning_s=learning_seconds(quick=quick),
-        phase_switches=manager.phase_switches,
+        phase_switches=outcome.stat("phase_switches", 0),
     )
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> HipsterTraceResult:
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> HipsterTraceResult:
     """Regenerate Figure 6."""
-    return run_hipster_trace(WORKLOAD_NAME, quick=quick, seed=seed)
+    return run_hipster_trace(WORKLOAD_NAME, quick=quick, seed=seed, runner=runner)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

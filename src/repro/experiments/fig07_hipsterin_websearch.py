@@ -13,32 +13,43 @@ from repro.experiments.fig06_hipsterin_memcached import (
     HipsterTraceResult,
     run_hipster_trace,
 )
-from repro.experiments.runner import DEFAULT_SEED, diurnal_for, workload_by_name
-from repro.hardware.juno import juno_r1
-from repro.policies.octopusman import OctopusMan
-from repro.sim.engine import run_experiment
+from repro.experiments.runner import DEFAULT_SEED
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
 
 WORKLOAD_NAME = "websearch"
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> HipsterTraceResult:
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> HipsterTraceResult:
     """Regenerate Figure 7."""
-    return run_hipster_trace(WORKLOAD_NAME, quick=quick, seed=seed)
+    return run_hipster_trace(WORKLOAD_NAME, quick=quick, seed=seed, runner=runner)
 
 
 def migration_ratio_vs_octopus(
-    *, quick: bool = False, seed: int = DEFAULT_SEED
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
 ) -> float:
     """Octopus-Man migrations divided by HipsterIn's (exploitation phase).
 
     The paper reports 4.7x fewer migrations for Web-Search (Section
     4.2.3); values above 1 reproduce the direction of that claim.
     """
-    hipster = run(quick=quick, seed=seed)
-    platform = juno_r1()
-    workload = workload_by_name(WORKLOAD_NAME)
-    trace = diurnal_for(workload, quick=quick)
-    octopus = run_experiment(platform, workload, trace, OctopusMan(), seed=seed)
+    hipster = run(quick=quick, seed=seed, runner=runner)
+    octopus_spec = DEFAULT_REGISTRY.build(
+        "diurnal-policy",
+        workload=WORKLOAD_NAME,
+        manager="octopus-man",
+        quick=quick,
+        seed=seed,
+    )
+    (octopus,) = get_runner(runner).results([octopus_spec])
     octo_rate = octopus.slice(hipster.learning_s).migration_events() / max(
         len(octopus.slice(hipster.learning_s)), 1
     )

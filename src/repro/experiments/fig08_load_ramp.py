@@ -17,12 +17,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.reporting import ascii_table, series_block
-from repro.experiments.runner import DEFAULT_SEED, hipster_in_for, workload_by_name
-from repro.hardware.juno import juno_r1
-from repro.loadgen.diurnal import DiurnalTrace
-from repro.loadgen.traces import ConcatTrace, RampTrace
-from repro.policies.octopusman import OctopusMan
-from repro.sim.engine import run_experiment
+from repro.experiments.runner import DEFAULT_SEED
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
 from repro.sim.records import ExperimentResult
 
 #: The measured ramp (paper: 50% -> 100% over 175 s).
@@ -91,30 +88,28 @@ class Fig8Result:
         )
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Fig8Result:
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> Fig8Result:
     """Regenerate Figure 8."""
-    platform = juno_r1()
-    workload = workload_by_name("memcached")
     warmup_s = 360.0 if quick else 700.0
-    trace = ConcatTrace(
-        [
-            DiurnalTrace(duration_s=warmup_s, seed=7),
-            RampTrace(
-                start_level=RAMP_START,
-                end_level=RAMP_END,
-                ramp_s=RAMP_SECONDS,
-                hold_s=25.0,
-            ),
-        ]
-    )
-    hipster = run_experiment(
-        platform,
-        workload,
-        trace,
-        hipster_in_for(learning_s=min(300.0, warmup_s - 60.0)),
-        seed=seed,
-    )
-    octopus = run_experiment(platform, workload, trace, OctopusMan(), seed=seed)
+    specs = [
+        DEFAULT_REGISTRY.build(
+            "load-ramp",
+            manager=manager,
+            warmup_s=warmup_s,
+            start_level=RAMP_START,
+            end_level=RAMP_END,
+            ramp_s=RAMP_SECONDS,
+            seed=seed,
+            learning_s=min(300.0, warmup_s - 60.0),
+        )
+        for manager in ("hipster-in", "octopus-man")
+    ]
+    hipster, octopus = get_runner(runner).results(specs)
     return Fig8Result(hipster=hipster, octopus=octopus, warmup_s=warmup_s)
 
 

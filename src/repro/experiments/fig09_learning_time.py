@@ -13,10 +13,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.reporting import ascii_table
-from repro.experiments.runner import DEFAULT_SEED, diurnal_for, hipster_in_for, workload_by_name
-from repro.hardware.juno import juno_r1
-from repro.policies.octopusman import OctopusMan
-from repro.sim.engine import run_experiment
+from repro.experiments.runner import DEFAULT_SEED
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
 
 #: Figure 9's setup: learning phase shortened to 200 s, 100 s windows.
 FIG9_LEARNING_S = 200.0
@@ -67,16 +66,26 @@ class Fig9Result:
         )
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Fig9Result:
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> Fig9Result:
     """Regenerate Figure 9."""
-    platform = juno_r1()
-    workload = workload_by_name("websearch")
-    trace = diurnal_for(workload, quick=quick)
     learning_s = 100.0 if quick else FIG9_LEARNING_S
-    hipster = run_experiment(
-        platform, workload, trace, hipster_in_for(learning_s=learning_s), seed=seed
-    )
-    octopus = run_experiment(platform, workload, trace, OctopusMan(), seed=seed)
+    specs = [
+        DEFAULT_REGISTRY.build(
+            "diurnal-policy",
+            workload="websearch",
+            manager=manager,
+            quick=quick,
+            seed=seed,
+            learning_s=learning_s,
+        )
+        for manager in ("hipster-in", "octopus-man")
+    ]
+    hipster, octopus = get_runner(runner).results(specs)
     return Fig9Result(
         hipster_windows=hipster.windowed_qos_guarantee(WINDOW_S),
         octopus_windows=octopus.windowed_qos_guarantee(WINDOW_S),

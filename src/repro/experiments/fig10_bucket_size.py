@@ -12,17 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.buckets import PAPER_BUCKET_SWEEP
-from repro.core.hipster import HipsterParams, hipster_in
 from repro.experiments.reporting import ascii_table
-from repro.experiments.runner import (
-    DEFAULT_SEED,
-    diurnal_for,
-    learning_seconds,
-    workload_by_name,
-)
-from repro.hardware.juno import juno_r1
-from repro.policies.static import static_all_big
-from repro.sim.engine import run_experiment
+from repro.experiments.runner import DEFAULT_SEED
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.scenarios.spec import thaw_params
+from repro.sim.batch import BatchRunner, get_runner
 
 
 @dataclass(frozen=True)
@@ -62,24 +56,51 @@ class Fig10Result:
         )
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Fig10Result:
-    """Regenerate Figure 10."""
-    platform = juno_r1()
-    rows: list[BucketRow] = []
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> Fig10Result:
+    """Regenerate Figure 10.
+
+    The bucket grid is declared with :meth:`ScenarioSpec.sweep` over the
+    HipsterIn manager parameters and dispatched as one batch together
+    with the per-workload static baselines.
+    """
+    groups = []
+    specs = []
     for workload_name, sweep in PAPER_BUCKET_SWEEP.items():
-        workload = workload_by_name(workload_name)
-        trace = diurnal_for(workload, quick=quick)
-        baseline = run_experiment(
-            platform, workload, trace, static_all_big(platform), seed=seed
+        baseline_spec = DEFAULT_REGISTRY.build(
+            "diurnal-policy",
+            workload=workload_name,
+            manager="static-big",
+            quick=quick,
+            seed=seed,
         )
+        hipster_base = DEFAULT_REGISTRY.build(
+            "diurnal-policy",
+            workload=workload_name,
+            manager="hipster-in",
+            quick=quick,
+            seed=seed,
+        )
+        base_params = thaw_params(hipster_base.manager_params)
+        sweep_specs = hipster_base.sweep(
+            manager_params=[
+                {**base_params, "bucket_size": bucket_size} for bucket_size in sweep
+            ]
+        )
+        groups.append((workload_name, sweep))
+        specs.append(baseline_spec)
+        specs.extend(sweep_specs)
+
+    results = iter(get_runner(runner).results(specs))
+    rows: list[BucketRow] = []
+    for workload_name, sweep in groups:
+        baseline = next(results)
         for bucket_size in sweep:
-            manager = hipster_in(
-                HipsterParams(
-                    bucket_size=bucket_size,
-                    learning_duration_s=learning_seconds(quick=quick),
-                )
-            )
-            result = run_experiment(platform, workload, trace, manager, seed=seed)
+            result = next(results)
             rows.append(
                 BucketRow(
                     workload_name=workload_name,

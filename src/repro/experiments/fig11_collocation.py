@@ -18,19 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.hipster import HipsterParams, hipster_co
 from repro.experiments.reporting import ascii_table
-from repro.experiments.runner import (
-    DEFAULT_SEED,
-    diurnal_for,
-    learning_seconds,
-    workload_by_name,
-)
-from repro.hardware.juno import juno_r1
-from repro.policies.octopusman import OctopusMan
-from repro.policies.static import static_all_big
-from repro.sim.engine import run_experiment
-from repro.workloads.spec import SPEC_CPU2006, spec_job_set
+from repro.experiments.runner import DEFAULT_SEED
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
+from repro.workloads.spec import SPEC_CPU2006
 
 
 @dataclass(frozen=True)
@@ -85,42 +77,62 @@ class Fig11Result:
         )
 
 
+#: Managers compared against the static baseline, with the spec-level
+#: collocation parameters each needs.
+_MANAGER_PARAMS = {
+    "octopus-man": {"collocate_batch": True},
+    "hipster-co": None,  # the Co variant collocates by design
+}
+
+
 def run(
     *,
     quick: bool = False,
     seed: int = DEFAULT_SEED,
     programs: tuple[str, ...] | None = None,
+    runner: BatchRunner | None = None,
 ) -> Fig11Result:
-    """Regenerate Figure 11 (optionally for a subset of programs)."""
-    platform = juno_r1()
-    workload = workload_by_name("websearch")
-    trace = diurnal_for(workload, quick=quick)
+    """Regenerate Figure 11 (optionally for a subset of programs).
+
+    The (program x manager) grid -- baseline included -- is one declared
+    batch, so all collocation runs can fan out over workers.
+    """
     names = programs or tuple(p.name for p in SPEC_CPU2006)
     if quick and programs is None:
         names = ("calculix", "lbm", "libquantum")
+
+    specs = []
+    for name in names:
+        specs.append(
+            DEFAULT_REGISTRY.build(
+                "collocation",
+                manager="static-big",
+                program=name,
+                quick=quick,
+                seed=seed,
+                manager_params={"collocate_batch": True},
+            )
+        )
+        specs.extend(
+            DEFAULT_REGISTRY.build(
+                "collocation",
+                manager=manager,
+                program=name,
+                quick=quick,
+                seed=seed,
+                manager_params=params,
+            )
+            for manager, params in _MANAGER_PARAMS.items()
+        )
+
+    results = iter(get_runner(runner).results(specs))
     rows: list[CollocationRow] = []
     for name in names:
-        jobs = spec_job_set(name)
-        static = run_experiment(
-            platform,
-            workload,
-            trace,
-            static_all_big(platform, collocate_batch=True),
-            batch_jobs=jobs,
-            seed=seed,
-        )
-        managers = {
-            "octopus-man": OctopusMan(collocate_batch=True),
-            "hipster-co": hipster_co(
-                HipsterParams(learning_duration_s=learning_seconds(quick=quick))
-            ),
-        }
+        static = next(results)
         base_ips = static.batch_mean_ips()
         base_energy = static.total_energy_j()
-        for manager_name, manager in managers.items():
-            result = run_experiment(
-                platform, workload, trace, manager, batch_jobs=jobs, seed=seed
-            )
+        for manager_name in _MANAGER_PARAMS:
+            result = next(results)
             rows.append(
                 CollocationRow(
                     program=name,

@@ -4,6 +4,14 @@ Every experiment accepts a ``quick`` flag: the full setting mirrors the
 paper's run lengths (1400 s Memcached / 1000 s Web-Search diurnal days),
 while quick runs compress the day so the benchmark suite stays fast.  All
 experiments are deterministic for a given seed.
+
+The canonical run lengths and the scenario vocabulary now live in
+:mod:`repro.scenarios`; this module re-exports them and keeps the small
+object-level helpers (fresh workloads, traces and managers) used by
+tests and by callers that drive :func:`repro.sim.engine.run_experiment`
+directly.  Experiment modules themselves declare
+:class:`~repro.scenarios.spec.ScenarioSpec`s and execute them through a
+:class:`~repro.sim.batch.BatchRunner`.
 """
 
 from __future__ import annotations
@@ -17,20 +25,32 @@ from repro.loadgen.diurnal import DiurnalTrace
 from repro.policies.base import TaskManager
 from repro.policies.octopusman import OctopusMan
 from repro.policies.static import static_all_big, static_all_small
+from repro.scenarios.registry import (
+    DIURNAL_TRACE_SEED,
+    FULL_DURATION_S,
+    FULL_LEARNING_S,
+    QUICK_DURATION_S,
+    QUICK_LEARNING_S,
+    STANDARD_POLICIES,
+    learning_seconds,
+)
+from repro.scenarios.spec import DEFAULT_SEED
 from repro.workloads.base import LatencyCriticalWorkload
 from repro.workloads.memcached import memcached
 from repro.workloads.websearch import websearch
 
-#: Paper run lengths: Figures 5/6 span ~1400 s for Memcached and ~1000 s
-#: for Web-Search.
-FULL_DURATION_S = {"memcached": 1400.0, "websearch": 1000.0}
-QUICK_DURATION_S = {"memcached": 420.0, "websearch": 360.0}
-
-#: Learning-phase length (Section 4.1): 500 s, 200 s in Figure 9.
-FULL_LEARNING_S = 500.0
-QUICK_LEARNING_S = 150.0
-
-DEFAULT_SEED = 2017
+__all__ = [
+    "DEFAULT_SEED",
+    "FULL_DURATION_S",
+    "FULL_LEARNING_S",
+    "PolicySet",
+    "QUICK_DURATION_S",
+    "QUICK_LEARNING_S",
+    "diurnal_for",
+    "hipster_in_for",
+    "learning_seconds",
+    "workload_by_name",
+]
 
 
 def workload_by_name(name: str) -> LatencyCriticalWorkload:
@@ -45,16 +65,14 @@ def workload_by_name(name: str) -> LatencyCriticalWorkload:
 
 
 def diurnal_for(
-    workload: LatencyCriticalWorkload, *, quick: bool = False, seed: int = 11
+    workload: LatencyCriticalWorkload,
+    *,
+    quick: bool = False,
+    seed: int = DIURNAL_TRACE_SEED,
 ) -> DiurnalTrace:
     """The workload's diurnal day at full or compressed length."""
     table = QUICK_DURATION_S if quick else FULL_DURATION_S
     return DiurnalTrace(duration_s=table[workload.name], seed=seed)
-
-
-def learning_seconds(*, quick: bool = False) -> float:
-    """Learning-phase duration matching the run length."""
-    return QUICK_LEARNING_S if quick else FULL_LEARNING_S
 
 
 def hipster_in_for(
@@ -72,16 +90,20 @@ def hipster_in_for(
 
 @dataclass(frozen=True)
 class PolicySet:
-    """The Table 3 line-up for one run."""
+    """The Table 3 line-up for one run (see also
+    :func:`repro.scenarios.registry.standard_policy_specs` for the
+    spec-level equivalent)."""
 
     quick: bool = False
 
     def build(self, platform: Platform) -> dict[str, TaskManager]:
         """Fresh manager instances, keyed by the paper's policy names."""
-        return {
+        managers = {
             "static-big": static_all_big(platform),
             "static-small": static_all_small(platform),
             "hipster-heuristic": HipsterHeuristicPolicy(),
             "octopus-man": OctopusMan(),
             "hipster-in": hipster_in_for(quick=self.quick),
         }
+        assert tuple(managers) == STANDARD_POLICIES
+        return managers

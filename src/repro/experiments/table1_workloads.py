@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.calibration import edge_tail_ms
+import numpy as np
+
+from repro.experiments.calibration import EDGE_QUANTILE
 from repro.experiments.reporting import ascii_table
 from repro.experiments.runner import DEFAULT_SEED
-from repro.hardware.juno import juno_r1
+from repro.scenarios import DEFAULT_REGISTRY
+from repro.sim.batch import BatchRunner, get_runner
 from repro.workloads.memcached import memcached
 from repro.workloads.websearch import websearch
 
@@ -56,13 +59,25 @@ class Table1Result:
         )
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Table1Result:
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> Table1Result:
     """Regenerate Table 1."""
-    platform = juno_r1()
     duration = 120.0 if quick else 240.0
+    workloads = (memcached(), websearch())
+    specs = [
+        DEFAULT_REGISTRY.build(
+            "edge-load", workload=w.name, duration_s=duration, seed=seed
+        )
+        for w in workloads
+    ]
+    results = get_runner(runner).results(specs)
     rows = []
-    for workload in (memcached(), websearch()):
-        tail = edge_tail_ms(platform, workload, duration_s=duration, seed=seed)
+    for workload, result in zip(workloads, results):
+        tail = float(np.quantile(result.tails_ms, EDGE_QUANTILE))
         rows.append(
             Table1Row(
                 workload=workload.name,

@@ -66,8 +66,13 @@ class Table2Result:
         return table + "\n\n" + derived
 
 
-def run(*, quick: bool = False) -> Table2Result:
-    """Regenerate Table 2 (quick is accepted for interface symmetry)."""
+def run(*, quick: bool = False, seed: int = 0, runner=None) -> Table2Result:
+    """Regenerate Table 2.
+
+    The characterization is closed-form (no stochastic simulation), so
+    ``quick``, ``seed`` and ``runner`` are accepted only for interface
+    symmetry with the other experiment modules and ignored.
+    """
     big, small = characterize_platform(juno_r1())
     return Table2Result(big=big, small=small)
 

@@ -11,24 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.reporting import ascii_table
-from repro.experiments.runner import (
-    DEFAULT_SEED,
-    PolicySet,
-    diurnal_for,
-    workload_by_name,
-)
-from repro.hardware.juno import juno_r1
+from repro.experiments.runner import DEFAULT_SEED
 from repro.metrics.summary import PolicySummary, summarize
-from repro.sim.engine import run_experiment
+from repro.scenarios.registry import STANDARD_POLICIES, standard_policy_specs
+from repro.sim.batch import BatchRunner, get_runner
 
 #: Policy display order, as in the paper's table.
-POLICY_ORDER = (
-    "static-big",
-    "static-small",
-    "hipster-heuristic",
-    "octopus-man",
-    "hipster-in",
-)
+POLICY_ORDER = STANDARD_POLICIES
 
 
 @dataclass(frozen=True)
@@ -62,20 +51,31 @@ class Table3Result:
         )
 
 
-def run(*, quick: bool = False, seed: int = DEFAULT_SEED) -> Table3Result:
-    """Regenerate Table 3."""
-    platform = juno_r1()
+def run(
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    runner: BatchRunner | None = None,
+) -> Table3Result:
+    """Regenerate Table 3.
+
+    The (workload x policy) grid is declared through the scenario
+    registry and dispatched as one batch; the static-big run of each
+    workload then serves as that workload's normalization baseline.
+    """
+    grid: list[tuple[str, dict]] = [
+        (workload_name, standard_policy_specs(workload_name, quick=quick, seed=seed))
+        for workload_name in ("memcached", "websearch")
+    ]
+    all_specs = [spec for _, specs in grid for spec in specs.values()]
+    results = iter(get_runner(runner).results(all_specs))
+
     summaries: dict[tuple[str, str], PolicySummary] = {}
-    for workload_name in ("memcached", "websearch"):
-        workload = workload_by_name(workload_name)
-        trace = diurnal_for(workload, quick=quick)
-        managers = PolicySet(quick=quick).build(platform)
-        baseline = run_experiment(
-            platform, workload, trace, managers.pop("static-big"), seed=seed
-        )
+    for workload_name, specs in grid:
+        by_policy = {name: next(results) for name in specs}
+        baseline = by_policy.pop("static-big")
         summaries[("static-big", workload_name)] = summarize(baseline)
-        for name, manager in managers.items():
-            result = run_experiment(platform, workload, trace, manager, seed=seed)
+        for name, result in by_policy.items():
             summaries[(name, workload_name)] = summarize(result, baseline)
     return Table3Result(summaries=summaries)
 

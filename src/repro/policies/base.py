@@ -121,6 +121,16 @@ class TaskManager(abc.ABC):
     def observe(self, observation: "IntervalObservation") -> None:
         """Digest the interval that just finished (optional)."""
 
+    def scenario_stats(self) -> dict[str, float | int]:
+        """Manager-side statistics a scenario run should report.
+
+        Managers are rebuilt inside batch workers, so any instance state
+        an experiment needs (e.g. Hipster's phase switches) must be
+        declared here -- the scenario layer ships the returned mapping
+        back with the run's :class:`~repro.scenarios.spec.ScenarioOutcome`.
+        """
+        return {}
+
 
 @dataclass
 class DecisionLog:

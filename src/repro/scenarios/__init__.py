@@ -1,0 +1,39 @@
+"""Declarative scenario layer: *what* to run, separated from *how*.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` is a frozen, picklable
+description of one simulator run -- workload, trace, manager factory,
+platform, engine overrides and seed -- expressed entirely in plain data
+(strings, numbers, tuples) so it can cross process boundaries and be
+fingerprinted for result caching.  Grids of scenarios expand with
+:meth:`~repro.scenarios.spec.ScenarioSpec.sweep`, and the experiment
+modules obtain their standard shapes from the
+:class:`~repro.scenarios.registry.ScenarioRegistry`.
+
+Execution lives one layer down in :mod:`repro.sim.batch`: a
+:class:`~repro.sim.batch.BatchRunner` fans a list of specs out over
+worker processes and caches results on disk keyed by spec fingerprint.
+The figure/table modules in :mod:`repro.experiments` only ever *declare*
+specs and post-process the returned results.
+"""
+
+from repro.scenarios.registry import (
+    DEFAULT_REGISTRY,
+    ScenarioRegistry,
+    learning_seconds,
+)
+from repro.scenarios.spec import (
+    DEFAULT_SEED,
+    ScenarioOutcome,
+    ScenarioSpec,
+    TraceSpec,
+)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "DEFAULT_SEED",
+    "ScenarioOutcome",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "TraceSpec",
+    "learning_seconds",
+]

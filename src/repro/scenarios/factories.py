@@ -1,0 +1,160 @@
+"""String-keyed factories that turn spec fields into live objects.
+
+Scenario specs must cross process boundaries, so they reference
+workloads, platforms, traces, managers and batch job sets by *name*;
+these registries are the single place those names resolve.  Every
+factory builds a fresh instance -- managers in particular are stateful
+and must never be shared between runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.heuristic import HipsterHeuristicPolicy
+from repro.core.hipster import HipsterParams, hipster_co, hipster_in
+from repro.hardware.juno import juno_r1
+from repro.hardware.soc import KernelConfig, Platform
+from repro.hardware.topology import config_by_label, enumerate_configurations
+from repro.loadgen.diurnal import DiurnalTrace
+from repro.loadgen.traces import (
+    ConcatTrace,
+    ConstantTrace,
+    LoadTrace,
+    RampTrace,
+    SpikeTrace,
+    StepTrace,
+)
+from repro.policies.base import TaskManager
+from repro.policies.octopusman import OctopusMan
+from repro.policies.static import StaticPolicy, static_all_big, static_all_small
+from repro.sim.engine import EngineConfig
+from repro.workloads.base import LatencyCriticalWorkload
+from repro.workloads.batch import BatchJobSet
+from repro.workloads.memcached import memcached
+from repro.workloads.spec import spec_job_set, spec_mix
+from repro.workloads.websearch import websearch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.spec import Params, ScenarioSpec, TraceSpec
+
+WORKLOAD_FACTORIES: dict[str, Callable[[], LatencyCriticalWorkload]] = {
+    "memcached": memcached,
+    "websearch": websearch,
+}
+
+PLATFORM_FACTORIES: dict[str, Callable[[], Platform]] = {
+    "juno_r1": juno_r1,
+}
+
+TRACE_BUILDERS: dict[str, Callable[..., LoadTrace]] = {
+    "diurnal": DiurnalTrace,
+    "constant": ConstantTrace,
+    "ramp": RampTrace,
+    "step": StepTrace,
+    "spike": SpikeTrace,
+}
+
+
+def _static_config(
+    platform: Platform, *, label: str, collocate_batch: bool = False
+) -> StaticPolicy:
+    """Pin one configuration by its paper-style label (Figure 2/3 sweeps)."""
+    space = enumerate_configurations(platform)
+    return StaticPolicy(config_by_label(space, label), collocate_batch=collocate_batch)
+
+
+def _hipster(variant: Callable[[HipsterParams | None], TaskManager], **params):
+    return variant(HipsterParams(**params) if params else None)
+
+
+MANAGER_FACTORIES: dict[str, Callable[..., TaskManager]] = {
+    "static-big": lambda platform, **kw: static_all_big(platform, **kw),
+    "static-small": lambda platform, **kw: static_all_small(platform, **kw),
+    "static-config": _static_config,
+    "octopus-man": lambda platform, **kw: OctopusMan(**kw),
+    "hipster-heuristic": lambda platform, **kw: HipsterHeuristicPolicy(**kw),
+    "hipster-in": lambda platform, **kw: _hipster(hipster_in, **kw),
+    "hipster-co": lambda platform, **kw: _hipster(hipster_co, **kw),
+}
+
+BATCH_JOB_FACTORIES: dict[str, Callable[[str], BatchJobSet]] = {
+    # "spec:<program>" -> one instance of that SPEC CPU2006 program per
+    # free core; "spec-mix" -> the mixed job set.
+    "spec": lambda arg: spec_job_set(arg),
+    "spec-mix": lambda arg: spec_mix(),
+}
+
+
+def validate_keys(spec: "ScenarioSpec") -> None:
+    """Fail fast on unknown registry keys (at spec construction time)."""
+    _lookup(WORKLOAD_FACTORIES, spec.workload, "workload")
+    _lookup(PLATFORM_FACTORIES, spec.platform, "platform")
+    _lookup(MANAGER_FACTORIES, spec.manager, "manager")
+    if spec.batch_jobs is not None:
+        kind, _ = _split_batch_key(spec.batch_jobs)
+        _lookup(BATCH_JOB_FACTORIES, kind, "batch job set")
+
+
+def _lookup(registry: dict[str, Any], key: str, what: str) -> Any:
+    try:
+        return registry[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown {what} {key!r}; available: {sorted(registry)}"
+        ) from None
+
+
+def _split_batch_key(key: str) -> tuple[str, str]:
+    kind, _, arg = key.partition(":")
+    return kind, arg
+
+
+def build_workload(name: str, params: "Params" = ()) -> LatencyCriticalWorkload:
+    """A fresh workload, with optional field overrides applied."""
+    workload = _lookup(WORKLOAD_FACTORIES, name, "workload")()
+    if params:
+        workload = workload.with_overrides(**dict(params))
+    return workload
+
+
+def build_platform(name: str) -> Platform:
+    """A fresh platform instance."""
+    return _lookup(PLATFORM_FACTORIES, name, "platform")()
+
+
+def build_manager(
+    name: str, platform: Platform, params: "Params" = ()
+) -> TaskManager:
+    """A fresh (stateful) manager instance for one run."""
+    return _lookup(MANAGER_FACTORIES, name, "manager")(platform, **dict(params))
+
+
+def build_trace(trace: "TraceSpec") -> LoadTrace:
+    """The concrete load trace a trace spec describes."""
+    if trace.kind == "concat":
+        return ConcatTrace([build_trace(part) for part in trace.parts])
+    builder = _lookup(TRACE_BUILDERS, trace.kind, "trace kind")
+    return builder(**dict(trace.params))
+
+
+def build_batch_jobs(key: str | None) -> BatchJobSet | None:
+    """The batch job set a collocation scenario names, if any."""
+    if key is None:
+        return None
+    kind, arg = _split_batch_key(key)
+    return _lookup(BATCH_JOB_FACTORIES, kind, "batch job set")(arg)
+
+
+def build_kernel(cpuidle: bool | None) -> KernelConfig | None:
+    """Kernel config for the spec (``None`` keeps the engine default)."""
+    if cpuidle is None:
+        return None
+    return KernelConfig(cpuidle_enabled=cpuidle)
+
+
+def build_engine_config(params: "Params") -> EngineConfig | None:
+    """Engine overrides as a config (``None`` keeps engine defaults)."""
+    if not params:
+        return None
+    return EngineConfig(**dict(params))

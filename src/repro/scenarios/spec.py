@@ -1,0 +1,297 @@
+"""Frozen scenario descriptions and their expansion into runs.
+
+Everything here is plain data: a :class:`ScenarioSpec` names its
+workload, manager and platform by registry key (see
+:mod:`repro.scenarios.factories`) and carries parameters as sorted
+``(key, value)`` tuples, so specs are hashable, picklable, directly
+comparable, and stable enough to fingerprint for the on-disk result
+cache.  Workers rebuild the heavyweight objects -- managers, traces,
+platforms -- from the factories, which preserves per-spec-seed
+determinism: two runs of the same spec are the same pure function of
+``(platform, workload, trace, manager, seed)`` no matter which process
+executes them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterable, Mapping
+
+from repro.sim.queueing import KERNEL_VERSION
+from repro.sim.records import ExperimentResult
+
+DEFAULT_SEED = 2017
+
+#: Bump to invalidate every cached result when scenario semantics change
+#: in a way the queue-kernel version does not capture.
+SCHEMA_VERSION = 1
+
+#: Immutable parameter bag: sorted ``(key, value)`` pairs.
+Params = tuple[tuple[str, Any], ...]
+
+ParamsLike = Mapping[str, Any] | Iterable[tuple[str, Any]] | None
+
+
+def freeze_params(params: ParamsLike) -> Params:
+    """Normalize a mapping (or pair iterable) into sorted frozen pairs."""
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    frozen = tuple(sorted((str(k), _freeze_value(v)) for k, v in items))
+    names = [k for k, _ in frozen]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate parameter names in {names}")
+    return frozen
+
+
+def _freeze_value(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        return freeze_params(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    raise TypeError(
+        f"scenario parameters must be plain data, got {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def thaw_params(params: Params) -> dict[str, Any]:
+    """The mutable-dict view of frozen parameters (one level deep)."""
+    return dict(params)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A load trace described declaratively.
+
+    ``kind`` selects a builder from
+    :data:`repro.scenarios.factories.TRACE_BUILDERS` (``"diurnal"``,
+    ``"constant"``, ``"ramp"``, ``"step"``, ``"spike"``) and ``params``
+    are its keyword arguments; ``kind="concat"`` plays ``parts`` back to
+    back instead.
+    """
+
+    kind: str
+    params: Params = ()
+    parts: tuple["TraceSpec", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", freeze_params(self.params))
+        object.__setattr__(self, "parts", tuple(self.parts))
+        if self.kind == "concat":
+            if not self.parts:
+                raise ValueError("a concat trace needs at least one part")
+        elif self.parts:
+            raise ValueError("only concat traces take parts")
+
+    # -- convenience constructors for the shapes the paper uses ---------
+
+    @classmethod
+    def diurnal(cls, duration_s: float, *, seed: int = 11, **extra) -> "TraceSpec":
+        """The compressed diurnal day (Figure 1's load pattern)."""
+        return cls("diurnal", {"duration_s": duration_s, "seed": seed, **extra})
+
+    @classmethod
+    def constant(cls, level: float, duration_s: float) -> "TraceSpec":
+        """A steady load level (calibration and the Figure 2/3 sweeps)."""
+        return cls("constant", {"level": level, "duration_s": duration_s})
+
+    @classmethod
+    def ramp(
+        cls,
+        start_level: float,
+        end_level: float,
+        ramp_s: float,
+        *,
+        lead_s: float = 0.0,
+        hold_s: float = 0.0,
+    ) -> "TraceSpec":
+        """A linear load ramp (Figure 8)."""
+        return cls(
+            "ramp",
+            {
+                "start_level": start_level,
+                "end_level": end_level,
+                "ramp_s": ramp_s,
+                "lead_s": lead_s,
+                "hold_s": hold_s,
+            },
+        )
+
+    @classmethod
+    def concat(cls, *parts: "TraceSpec") -> "TraceSpec":
+        """Several traces played back to back (warm-up then ramp)."""
+        return cls("concat", (), tuple(parts))
+
+    def build(self):
+        """The concrete :class:`~repro.loadgen.traces.LoadTrace`."""
+        from repro.scenarios import factories
+
+        return factories.build_trace(self)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One simulator run, described entirely in plain data.
+
+    Parameters
+    ----------
+    workload:
+        Workload registry key (``"memcached"`` or ``"websearch"``).
+    trace:
+        The offered-load trace to play.
+    manager:
+        Manager-factory key in
+        :data:`repro.scenarios.factories.MANAGER_FACTORIES` (e.g.
+        ``"hipster-in"``, ``"static-config"``).
+    manager_params / workload_params / engine:
+        Keyword overrides for the manager factory, the workload's
+        :meth:`~repro.workloads.base.LatencyCriticalWorkload.with_overrides`,
+        and :class:`~repro.sim.engine.EngineConfig`.
+    platform:
+        Platform registry key (currently only ``"juno_r1"``).
+    batch_jobs:
+        Batch job set key (``"spec:<program>"`` or ``"spec-mix"``) for
+        collocation scenarios; ``None`` runs the workload alone.
+    cpuidle:
+        ``None`` uses the engine default (CPUidle disabled, dodging the
+        Juno perf bug); ``True``/``False`` forces a kernel config.
+    seed:
+        The run seed; the run is a pure function of the spec.
+    n_intervals:
+        Optional cap on simulated intervals (defaults to the trace
+        length).
+    label:
+        Free-form display name; excluded from the fingerprint.
+    """
+
+    workload: str
+    trace: TraceSpec
+    manager: str
+    manager_params: Params = ()
+    workload_params: Params = ()
+    platform: str = "juno_r1"
+    batch_jobs: str | None = None
+    cpuidle: bool | None = None
+    engine: Params = ()
+    seed: int = DEFAULT_SEED
+    n_intervals: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for attr in ("manager_params", "workload_params", "engine"):
+            object.__setattr__(self, attr, freeze_params(getattr(self, attr)))
+        from repro.scenarios import factories
+
+        factories.validate_keys(self)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced (params re-frozen)."""
+        return replace(self, **changes)
+
+    def sweep(self, **grid: Iterable[Any]) -> tuple["ScenarioSpec", ...]:
+        """Expand a field grid into the cartesian product of specs.
+
+        Each keyword names a spec field and supplies an iterable of
+        values; the product is taken in the keyword order given, last
+        field fastest::
+
+            spec.sweep(seed=range(3), manager=["octopus-man", "hipster-in"])
+
+        yields six specs.  Figure modules use this to *declare* their
+        grids instead of imperatively looping over runs.
+        """
+        if not grid:
+            return (self,)
+        names = list(grid)
+        unknown = set(names) - {f.name for f in fields(self)}
+        if unknown:
+            raise ValueError(f"unknown spec fields in sweep: {sorted(unknown)}")
+        combos = itertools.product(*(list(grid[name]) for name in names))
+        return tuple(self.with_(**dict(zip(names, combo))) for combo in combos)
+
+    def fingerprint(self) -> str:
+        """Stable cache key: every run-affecting field plus the kernel
+        and schema versions (so code changes invalidate stale results)."""
+        payload = (
+            SCHEMA_VERSION,
+            KERNEL_VERSION,
+            self.workload,
+            self.workload_params,
+            self.trace,
+            self.manager,
+            self.manager_params,
+            self.platform,
+            self.batch_jobs,
+            self.cpuidle,
+            self.engine,
+            self.seed,
+            self.n_intervals,
+        )
+        return hashlib.sha256(repr(payload).encode()).hexdigest()[:24]
+
+    def describe(self) -> str:
+        """Short human-readable identity for logs and progress output."""
+        return self.label or (
+            f"{self.workload}/{self.manager}/{self.trace.kind}/seed={self.seed}"
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> "ScenarioOutcome":
+        """Execute the scenario in this process.
+
+        Builds every component fresh from the factories (so repeated runs
+        and cross-process runs are identical) and returns the result plus
+        the manager statistics that only live on the manager instance.
+        """
+        from repro.scenarios import factories
+        from repro.sim.engine import run_experiment
+
+        platform = factories.build_platform(self.platform)
+        workload = factories.build_workload(self.workload, self.workload_params)
+        manager = factories.build_manager(self.manager, platform, self.manager_params)
+        result = run_experiment(
+            platform,
+            workload,
+            self.trace.build(),
+            manager,
+            batch_jobs=factories.build_batch_jobs(self.batch_jobs),
+            kernel=factories.build_kernel(self.cpuidle),
+            engine_config=factories.build_engine_config(self.engine),
+            seed=self.seed,
+            n_intervals=self.n_intervals,
+        )
+        return ScenarioOutcome(
+            spec=self,
+            result=result,
+            manager_stats=freeze_params(manager.scenario_stats()),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What a scenario run produced: the result and manager statistics.
+
+    Managers are rebuilt inside workers, so any state a figure needs from
+    the manager instance (e.g. HipsterIn's ``phase_switches``) must be
+    extracted before the worker exits; it travels here as plain pairs.
+    """
+
+    spec: ScenarioSpec
+    result: ExperimentResult
+    manager_stats: Params = ()
+
+    def stat(self, name: str, default: Any = None) -> Any:
+        """A manager statistic by name (e.g. ``"phase_switches"``)."""
+        return thaw_params(self.manager_stats).get(name, default)

@@ -1,5 +1,6 @@
-"""Simulation substrate: queueing, contention, records, and the engine."""
+"""Simulation substrate: queueing, contention, records, engine, batching."""
 
+from repro.sim.batch import BatchRunner
 from repro.sim.contention import ClusterPressure, ContentionModel, aggregate_pressure
 from repro.sim.engine import (
     DEFAULT_MAX_BACKLOG_S,
@@ -18,6 +19,7 @@ from repro.sim.queueing import DispatchQueue, IntervalQueueStats
 from repro.sim.records import ExperimentResult, IntervalObservation
 
 __all__ = [
+    "BatchRunner",
     "ClusterPressure",
     "ContentionModel",
     "DEFAULT_MAX_BACKLOG_S",

@@ -1,0 +1,165 @@
+"""Batch execution of scenarios: process fan-out plus an on-disk cache.
+
+The :class:`BatchRunner` is the execution layer between the declarative
+scenario specs (:mod:`repro.scenarios`) and the per-run engine
+(:mod:`repro.sim.engine`).  Given a list of specs it
+
+* deduplicates identical specs (figure grids often repeat a run),
+* serves previously computed results from an on-disk cache keyed by the
+  spec fingerprint (which folds in the queue-kernel version, so code
+  changes invalidate stale entries),
+* fans the remaining runs out over a :class:`ProcessPoolExecutor` when
+  ``jobs > 1`` -- specs are picklable and every worker rebuilds its
+  manager from the factories, so per-spec-seed determinism is preserved
+  and serial and parallel execution produce identical results,
+* returns outcomes in input order.
+
+A runner is cheap and stateless between calls (apart from hit/miss
+counters), so one instance can be threaded through a whole
+``hipster-repro all`` invocation to share its cache and worker budget.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim <-> scenarios cycle
+    from repro.scenarios.spec import ScenarioOutcome, ScenarioSpec
+
+
+def execute_scenario(spec: "ScenarioSpec") -> "ScenarioOutcome":
+    """Run one scenario in the current process (the pool's work item)."""
+    return spec.run()
+
+
+@dataclass
+class BatchRunner:
+    """Fan scenario specs out over workers, caching results on disk.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 runs everything in-process (serial).
+    cache_dir:
+        Directory for pickled :class:`ScenarioOutcome`s keyed by spec
+        fingerprint; ``None`` disables caching.  Corrupt or unreadable
+        entries are treated as misses and recomputed.
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    cache_hits: int = field(default=0, init=False)
+    cache_misses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Iterable["ScenarioSpec"]) -> list["ScenarioOutcome"]:
+        """Execute every spec, in input order; duplicates run once."""
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec_list = list(specs)
+        for spec in spec_list:
+            if not isinstance(spec, ScenarioSpec):
+                raise TypeError(f"expected ScenarioSpec, got {type(spec).__name__}")
+        keys = [spec.fingerprint() for spec in spec_list]
+
+        outcomes: dict[str, ScenarioOutcome] = {}
+        pending: list[tuple[str, ScenarioSpec]] = []
+        pending_keys: set[str] = set()
+        for key, spec in zip(keys, spec_list):
+            if key in outcomes or key in pending_keys:
+                continue
+            cached = self._cache_load(key)
+            if cached is not None:
+                outcomes[key] = cached
+                self.cache_hits += 1
+            else:
+                pending.append((key, spec))
+                pending_keys.add(key)
+                self.cache_misses += 1
+
+        for key, outcome in zip(
+            (key for key, _ in pending),
+            self._execute([spec for _, spec in pending]),
+        ):
+            outcomes[key] = outcome
+            self._cache_store(key, outcome)
+
+        return [outcomes[key] for key in keys]
+
+    def results(self, specs: Iterable["ScenarioSpec"]):
+        """Like :meth:`run` but unwrapped to bare ``ExperimentResult``s."""
+        return [outcome.result for outcome in self.run(specs)]
+
+    def run_one(self, spec: "ScenarioSpec") -> "ScenarioOutcome":
+        """Convenience wrapper for a single spec."""
+        return self.run([spec])[0]
+
+    def _execute(self, specs: Sequence["ScenarioSpec"]) -> list["ScenarioOutcome"]:
+        if self.jobs > 1 and len(specs) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(specs))
+            ) as pool:
+                return list(pool.map(execute_scenario, specs))
+        return [execute_scenario(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+
+    def _cache_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return Path(self.cache_dir) / f"{key}.pkl"
+
+    def _cache_load(self, key: str) -> "ScenarioOutcome | None":
+        from repro.scenarios.spec import ScenarioOutcome
+
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(key)
+        try:
+            with path.open("rb") as fh:
+                outcome = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:  # corrupt/stale entry: recompute, never crash
+            return None
+        return outcome if isinstance(outcome, ScenarioOutcome) else None
+
+    def _cache_store(self, key: str, outcome: "ScenarioOutcome") -> None:
+        if self.cache_dir is None:
+            return
+        path = self._cache_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic write: a crashed/parallel writer must never leave a
+        # truncated pickle behind for a later run to trip over.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def get_runner(runner: BatchRunner | None) -> BatchRunner:
+    """The given runner, or a fresh serial uncached one."""
+    return runner if runner is not None else BatchRunner()

@@ -1,0 +1,145 @@
+"""Tests for the batch execution layer: parallelism, caching, dedup."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.scenarios import DEFAULT_REGISTRY, ScenarioSpec, TraceSpec
+from repro.sim.batch import BatchRunner, get_runner
+
+
+def tiny_specs() -> list[ScenarioSpec]:
+    """A small but non-trivial batch: two managers x two seeds."""
+    base = ScenarioSpec(
+        workload="memcached",
+        trace=TraceSpec.constant(0.6, 15.0),
+        manager="static-big",
+    )
+    return list(base.sweep(manager=["static-big", "octopus-man"], seed=[1, 2]))
+
+
+def assert_same_results(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.spec == right.spec
+        assert left.manager_stats == right.manager_stats
+        assert left.result.observations == right.result.observations
+
+
+class TestDeterminism:
+    def test_serial_vs_two_workers_identical(self):
+        """The issue's acceptance property: worker fan-out must not
+        perturb results -- each worker rebuilds managers from factories,
+        so a run stays a pure function of its spec."""
+        specs = tiny_specs()
+        serial = BatchRunner(jobs=1).run(specs)
+        parallel = BatchRunner(jobs=2).run(specs)
+        assert_same_results(serial, parallel)
+
+    def test_order_preserved(self):
+        specs = tiny_specs()
+        outcomes = BatchRunner(jobs=2).run(specs)
+        assert [o.spec for o in outcomes] == specs
+
+    def test_duplicate_specs_run_once_and_fan_out(self):
+        spec = tiny_specs()[0]
+        runner = BatchRunner()
+        outcomes = runner.run([spec, spec, spec])
+        assert runner.cache_misses == 1
+        assert_same_results([outcomes[0]], [outcomes[1]])
+        assert_same_results([outcomes[0]], [outcomes[2]])
+
+
+class TestCache:
+    def test_second_run_hits_cache(self, tmp_path):
+        specs = tiny_specs()
+        cold = BatchRunner(cache_dir=tmp_path)
+        first = cold.run(specs)
+        assert cold.cache_misses == len(specs)
+        assert cold.cache_hits == 0
+
+        warm = BatchRunner(cache_dir=tmp_path)
+        second = warm.run(specs)
+        assert warm.cache_hits == len(specs)
+        assert warm.cache_misses == 0
+        assert_same_results(first, second)
+
+    def test_cache_keyed_by_fingerprint(self, tmp_path):
+        spec = tiny_specs()[0]
+        runner = BatchRunner(cache_dir=tmp_path)
+        runner.run([spec])
+        assert (tmp_path / f"{spec.fingerprint()}.pkl").exists()
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        spec = tiny_specs()[0]
+        runner = BatchRunner(cache_dir=tmp_path)
+        (original,) = runner.run([spec])
+        path = tmp_path / f"{spec.fingerprint()}.pkl"
+        path.write_bytes(b"not a pickle")
+
+        recovered = BatchRunner(cache_dir=tmp_path)
+        (outcome,) = recovered.run([spec])
+        assert recovered.cache_misses == 1
+        assert_same_results([original], [outcome])
+        # The entry was rewritten and is loadable again.
+        with path.open("rb") as fh:
+            assert pickle.load(fh).spec == spec
+
+    def test_changed_spec_misses(self, tmp_path):
+        runner = BatchRunner(cache_dir=tmp_path)
+        spec = tiny_specs()[0]
+        runner.run([spec])
+        runner.run([spec.with_(seed=99)])
+        assert runner.cache_misses == 2
+
+
+class TestRunnerBasics:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            BatchRunner(jobs=0)
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            BatchRunner().run(["fig1"])
+
+    def test_results_unwraps(self):
+        spec = tiny_specs()[0]
+        (result,) = BatchRunner().results([spec])
+        assert result.manager_name == "static-big"
+
+    def test_get_runner_default_is_serial_uncached(self):
+        runner = get_runner(None)
+        assert runner.jobs == 1 and runner.cache_dir is None
+        shared = BatchRunner(jobs=3)
+        assert get_runner(shared) is shared
+
+
+class TestExperimentEquivalence:
+    """A figure module must produce the same artifact through a parallel
+    cached runner as through the default serial path."""
+
+    def test_fig9_serial_vs_parallel(self, tmp_path):
+        from repro.experiments import fig09_learning_time
+
+        serial = fig09_learning_time.run(quick=True)
+        parallel = fig09_learning_time.run(
+            quick=True, runner=BatchRunner(jobs=2, cache_dir=tmp_path)
+        )
+        assert serial.render() == parallel.render()
+
+    def test_calibrate_probes_share_cache(self, tmp_path):
+        from repro.experiments.calibration import edge_tail_ms
+        from repro.hardware.juno import juno_r1
+        from repro.workloads.memcached import memcached
+
+        runner = BatchRunner(cache_dir=tmp_path)
+        first = edge_tail_ms(
+            juno_r1(), memcached(), duration_s=30.0, seed=3, runner=runner
+        )
+        second = edge_tail_ms(
+            juno_r1(), memcached(), duration_s=30.0, seed=3, runner=runner
+        )
+        assert first == second
+        assert runner.cache_hits == 1

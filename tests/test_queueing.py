@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sim.queueing import DispatchQueue
+from repro.sim.queueing import (
+    DispatchQueue,
+    lindley_completion_times,
+    lindley_completion_times_reference,
+)
 
 
 def make_queue(seed=0, **kwargs):
@@ -53,6 +57,77 @@ class TestBasics:
         stats = queue.run_interval(3.0, 4.0, 100, exponential_sampler(0.001))
         assert np.all(stats.arrival_times_s >= 3.0)
         assert np.all(stats.arrival_times_s < 4.0)
+
+
+class TestLindleyKernel:
+    """The vectorized queue kernel must match the per-request loop."""
+
+    @given(
+        n=st.integers(1, 200),
+        speed=st.floats(0.1, 4.0),
+        free0=st.floats(0.0, 5.0),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_loop(self, n, speed, free0, seed):
+        rng = np.random.default_rng(seed)
+        arrivals = np.sort(rng.uniform(0.0, 10.0, size=n))
+        service = rng.exponential(0.05, size=n) / speed
+        fast = lindley_completion_times(arrivals, service, free0)
+        slow = lindley_completion_times_reference(arrivals, service, free0)
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-12)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_completions_monotone_and_after_arrivals(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 50
+        arrivals = np.sort(rng.uniform(0.0, 5.0, size=n))
+        service = rng.exponential(0.1, size=n)
+        completion = lindley_completion_times(arrivals, service, 1.0)
+        assert np.all(np.diff(completion) >= 0)  # FCFS order preserved
+        # C_j >= a_j + s_j exactly in real arithmetic; allow float slack.
+        assert np.all(completion >= (arrivals + service) * (1 - 1e-12))
+
+    def test_burst_of_simultaneous_arrivals_serializes(self):
+        """Equal arrival times (a batch) must queue behind each other."""
+        arrivals = np.zeros(4)
+        service = np.full(4, 0.25)
+        completion = lindley_completion_times(arrivals, service, 0.0)
+        np.testing.assert_allclose(completion, [0.25, 0.5, 0.75, 1.0])
+
+    def test_initial_free_time_delays_first_request(self):
+        completion = lindley_completion_times(
+            np.array([0.0]), np.array([1.0]), 3.0
+        )
+        np.testing.assert_allclose(completion, [4.0])
+
+    def test_run_interval_matches_reference_dispatch(self):
+        """End to end: run_interval latencies equal a reference dispatch
+        replay using the same rng draws."""
+        queue = make_queue(seed=42, balance_exponent=0.55)
+        queue.reconfigure([1.0, 0.4, 0.4], now=0.0)
+        free_before = queue._free.copy()
+        rng_replay = np.random.default_rng(42)
+        stats = queue.run_interval(0.0, 5.0, 400.0, exponential_sampler(0.004))
+
+        # Replay the rng stream: arrivals, demands, assignment.
+        n = int(rng_replay.poisson(400.0 * 5.0))
+        arrivals = np.sort(rng_replay.uniform(0.0, 5.0, size=n))
+        demands = rng_replay.exponential(0.004, size=n)
+        assigned = rng_replay.choice(3, size=n, p=queue._weights)
+        assert n == stats.arrivals
+
+        expected = np.empty(n)
+        for k, speed in enumerate((1.0, 0.4, 0.4)):
+            (idx,) = np.nonzero(assigned == k)
+            if len(idx) == 0:
+                continue
+            completion = lindley_completion_times_reference(
+                arrivals[idx], demands[idx] / speed, free_before[k]
+            )
+            expected[idx] = completion - arrivals[idx]
+        np.testing.assert_allclose(stats.latencies_s, expected, rtol=1e-9)
 
 
 class TestQueueingBehaviour:

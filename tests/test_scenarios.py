@@ -1,0 +1,192 @@
+"""Tests for the declarative scenario layer (specs, registry, factories)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.loadgen.diurnal import DiurnalTrace
+from repro.loadgen.traces import ConcatTrace, ConstantTrace, RampTrace
+from repro.scenarios import (
+    DEFAULT_REGISTRY,
+    ScenarioRegistry,
+    ScenarioSpec,
+    TraceSpec,
+)
+from repro.scenarios.registry import (
+    STANDARD_POLICIES,
+    standard_policy_specs,
+)
+from repro.scenarios.spec import freeze_params, thaw_params
+
+
+def quick_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        workload="memcached",
+        trace=TraceSpec.constant(0.5, 20.0),
+        manager="static-big",
+        seed=7,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestParams:
+    def test_freeze_sorts_and_normalizes(self):
+        frozen = freeze_params({"b": 2, "a": {"y": 1, "x": [1, 2]}})
+        assert frozen == (("a", (("x", (1, 2)), ("y", 1))), ("b", 2))
+        assert thaw_params(frozen)["b"] == 2
+
+    def test_freeze_rejects_non_plain_data(self):
+        with pytest.raises(TypeError, match="plain data"):
+            freeze_params({"rng": np.random.default_rng(0)})
+
+    def test_freeze_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            freeze_params([("a", 1), ("a", 2)])
+
+
+class TestTraceSpec:
+    def test_builds_each_kind(self):
+        assert isinstance(TraceSpec.diurnal(400.0).build(), DiurnalTrace)
+        assert isinstance(TraceSpec.constant(0.5, 10.0).build(), ConstantTrace)
+        assert isinstance(TraceSpec.ramp(0.5, 1.0, 100.0).build(), RampTrace)
+
+    def test_concat_round_trip(self):
+        spec = TraceSpec.concat(
+            TraceSpec.diurnal(100.0, seed=7), TraceSpec.ramp(0.5, 1.0, 50.0)
+        )
+        trace = spec.build()
+        assert isinstance(trace, ConcatTrace)
+        assert trace.duration_s == pytest.approx(150.0)
+
+    def test_concat_requires_parts(self):
+        with pytest.raises(ValueError, match="at least one part"):
+            TraceSpec("concat")
+
+    def test_unknown_kind_fails_at_build(self):
+        with pytest.raises(KeyError, match="trace kind"):
+            TraceSpec("sinusoid", {"duration_s": 5.0}).build()
+
+
+class TestScenarioSpec:
+    def test_rejects_unknown_keys_eagerly(self):
+        with pytest.raises(KeyError, match="workload"):
+            quick_spec(workload="redis")
+        with pytest.raises(KeyError, match="manager"):
+            quick_spec(manager="round-robin")
+        with pytest.raises(KeyError, match="batch job set"):
+            quick_spec(batch_jobs="npb:ft")
+
+    def test_specs_are_picklable_and_comparable(self):
+        spec = quick_spec(manager_params={"collocate_batch": False})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_sensitivity(self):
+        spec = quick_spec()
+        assert spec.fingerprint() == quick_spec().fingerprint()
+        assert spec.fingerprint() != quick_spec(seed=8).fingerprint()
+        assert (
+            spec.fingerprint()
+            != quick_spec(trace=TraceSpec.constant(0.6, 20.0)).fingerprint()
+        )
+        assert spec.fingerprint() != quick_spec(manager="static-small").fingerprint()
+
+    def test_label_does_not_affect_fingerprint(self):
+        assert (
+            quick_spec(label="a").fingerprint() == quick_spec(label="b").fingerprint()
+        )
+
+    def test_sweep_expands_cartesian_product(self):
+        specs = quick_spec().sweep(
+            seed=[1, 2, 3], manager=["static-big", "static-small"]
+        )
+        assert len(specs) == 6
+        assert len({s.fingerprint() for s in specs}) == 6
+        assert {s.seed for s in specs} == {1, 2, 3}
+
+    def test_sweep_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            quick_spec().sweep(duration=[1, 2])
+
+    def test_run_is_deterministic(self):
+        spec = quick_spec()
+        a = spec.run()
+        b = spec.run()
+        assert a.result.observations == b.result.observations
+
+    def test_workload_params_override(self):
+        light = quick_spec(workload_params={"demand_mean_ms": 0.01}).run().result
+        heavy = quick_spec(workload_params={"demand_mean_ms": 0.05}).run().result
+        assert float(np.mean(heavy.tails_ms)) > float(np.mean(light.tails_ms))
+
+    def test_engine_overrides_reach_the_engine(self):
+        spec = quick_spec(engine={"interval_s": 2.0})
+        result = spec.run().result
+        assert result.interval_s == 2.0
+
+    def test_manager_stats_carry_phase_switches(self):
+        spec = quick_spec(
+            manager="hipster-in", manager_params={"learning_duration_s": 5.0}
+        )
+        outcome = spec.run()
+        assert outcome.stat("phase_switches") is not None
+        assert outcome.stat("nonexistent", -1) == -1
+
+
+class TestRegistry:
+    def test_default_registry_families(self):
+        for family in (
+            "diurnal-policy",
+            "steady-config",
+            "edge-load",
+            "load-ramp",
+            "collocation",
+        ):
+            assert family in DEFAULT_REGISTRY
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown scenario family"):
+            DEFAULT_REGISTRY.build("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("x", lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("x", lambda: None)
+
+    def test_diurnal_policy_durations(self):
+        quick = DEFAULT_REGISTRY.build(
+            "diurnal-policy", workload="memcached", manager="static-big", quick=True
+        )
+        full = DEFAULT_REGISTRY.build(
+            "diurnal-policy", workload="memcached", manager="static-big"
+        )
+        assert thaw_params(quick.trace.params)["duration_s"] == 420.0
+        assert thaw_params(full.trace.params)["duration_s"] == 1400.0
+
+    def test_learning_phase_filled_for_hipster_only(self):
+        hipster = DEFAULT_REGISTRY.build(
+            "diurnal-policy", workload="memcached", manager="hipster-in", quick=True
+        )
+        octopus = DEFAULT_REGISTRY.build(
+            "diurnal-policy", workload="memcached", manager="octopus-man", quick=True
+        )
+        assert thaw_params(hipster.manager_params)["learning_duration_s"] == 150.0
+        assert octopus.manager_params == ()
+
+    def test_collocation_names_batch_jobs(self):
+        spec = DEFAULT_REGISTRY.build(
+            "collocation", manager="hipster-co", program="lbm", quick=True
+        )
+        assert spec.batch_jobs == "spec:lbm"
+        assert spec.workload == "websearch"
+
+    def test_standard_policy_specs_line_up(self):
+        specs = standard_policy_specs("websearch", quick=True)
+        assert tuple(specs) == STANDARD_POLICIES
+        assert all(s.workload == "websearch" for s in specs.values())
