@@ -1,0 +1,49 @@
+"""Benchmark: fleet expansion and an 8-node fleet run.
+
+Fleet expansion (trace split + per-node spec construction) must stay
+cheap relative to the node runs it feeds into the pool, and a small
+fleet over a short day bounds the end-to-end cost of the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetSpec
+from repro.scenarios import TraceSpec
+from repro.sim.batch import BatchRunner
+
+
+def _fleet(n_nodes: int) -> FleetSpec:
+    return FleetSpec(
+        workload="memcached",
+        trace=TraceSpec.diurnal(420.0, seed=11),
+        manager="static-big",
+        n_nodes=n_nodes,
+        balancer="least-loaded",
+        seed=3,
+    )
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_expand_64_nodes(benchmark):
+    """Splitting a 420 s day across 64 nodes is pure bookkeeping."""
+    spec = _fleet(64)
+    nodes = benchmark(spec.node_specs)
+    assert len(nodes) == 64
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_run_8_nodes(benchmark):
+    """An 8-node constant-load fleet end to end (serial, uncached)."""
+    spec = FleetSpec(
+        workload="memcached",
+        trace=TraceSpec.constant(0.6, 30.0),
+        manager="static-big",
+        n_nodes=8,
+        seed=3,
+    )
+    outcome = benchmark.pedantic(
+        lambda: spec.run(BatchRunner()), rounds=3, iterations=1
+    )
+    assert outcome.n_nodes == 8

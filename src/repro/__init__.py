@@ -10,6 +10,8 @@ The package is organized as the paper's system plus everything it runs on:
 * :mod:`repro.sim` -- the queueing substrate, interval co-simulator and
   the parallel :class:`~repro.sim.batch.BatchRunner`;
 * :mod:`repro.scenarios` -- declarative scenario specs and the registry;
+* :mod:`repro.fleet` -- multi-node cluster simulation (FleetSpec, load
+  balancers, fleet-level aggregation);
 * :mod:`repro.core` -- Hipster itself (heuristic mapper + Q-learning);
 * :mod:`repro.policies` -- Octopus-Man and static baselines;
 * :mod:`repro.metrics` -- QoS guarantee / tardiness / energy summaries;
@@ -34,6 +36,7 @@ from repro.core import (
     hipster_co,
     hipster_in,
 )
+from repro.fleet import FleetOutcome, FleetSpec, run_fleet
 from repro.hardware import Configuration, juno_r1
 from repro.loadgen import (
     ConcatTrace,
@@ -41,6 +44,7 @@ from repro.loadgen import (
     DiurnalTrace,
     LoadTrace,
     RampTrace,
+    SampledTrace,
     SpikeTrace,
     StepTrace,
 )
@@ -83,6 +87,8 @@ __all__ = [
     "ConstantTrace",
     "DiurnalTrace",
     "ExperimentResult",
+    "FleetOutcome",
+    "FleetSpec",
     "Hipster",
     "HipsterHeuristicPolicy",
     "HipsterParams",
@@ -91,6 +97,7 @@ __all__ = [
     "LoadTrace",
     "OctopusMan",
     "RampTrace",
+    "SampledTrace",
     "SpikeTrace",
     "StaticPolicy",
     "StepTrace",
@@ -101,6 +108,7 @@ __all__ = [
     "juno_r1",
     "memcached",
     "run_experiment",
+    "run_fleet",
     "spec_job_set",
     "spec_mix",
     "static_all_big",

@@ -7,12 +7,15 @@ Usage::
     hipster-repro fig11 --quick --seed 7
     hipster-repro calibrate
     hipster-repro all --quick --jobs 4 --cache-dir .hipster-cache
+    hipster-repro fleet --quick --nodes 64 --balancer power-aware --jobs 4
 
 ``--quick`` compresses run lengths (CI-friendly); without it the runs
 match the paper's durations.  ``--jobs N`` fans each experiment's
 scenario batch out over N worker processes, and ``--cache-dir`` reuses
 previously computed results keyed by scenario fingerprint, so repeated
-``all`` invocations only re-run what changed.
+``all`` invocations only re-run what changed.  ``fleet`` simulates a
+multi-node cluster (see :mod:`repro.fleet`); its node runs fan out over
+the same pool and cache.
 """
 
 from __future__ import annotations
@@ -24,16 +27,21 @@ from typing import Sequence
 from repro.experiments import EXPERIMENTS
 from repro.experiments.calibration import calibrate_demand
 from repro.experiments.runner import DEFAULT_SEED
+from repro.fleet.balancer import BALANCER_FACTORIES
 from repro.hardware.juno import juno_r1
+from repro.scenarios import DEFAULT_REGISTRY
 from repro.sim.batch import BatchRunner
 from repro.workloads.memcached import memcached
 from repro.workloads.websearch import websearch
 
 #: Experiments that take a workload argument; for every other experiment
 #: passing ``--workload`` is an error (it would be silently ignored).
-_WORKLOAD_EXPERIMENTS = {"fig2", "fig5"}
+_WORKLOAD_EXPERIMENTS = {"fig2", "fig5", "fleet", "fleet-scale"}
 
 _DEFAULT_WORKLOAD = "memcached"
+
+_DEFAULT_FLEET_NODES = 8
+_DEFAULT_BALANCER = "round-robin"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,8 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["calibrate", "all"],
-        help="which artifact to regenerate",
+        choices=sorted(EXPERIMENTS) + ["calibrate", "all", "fleet"],
+        help="which artifact to regenerate ('fleet' simulates a cluster)",
     )
     parser.add_argument(
         "--workload",
@@ -56,6 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
             f"({', '.join(sorted(_WORKLOAD_EXPERIMENTS))}); "
             f"default {_DEFAULT_WORKLOAD}"
         ),
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"fleet size ('fleet' only; default {_DEFAULT_FLEET_NODES})",
+    )
+    parser.add_argument(
+        "--balancer",
+        choices=sorted(BALANCER_FACTORIES),
+        default=None,
+        help=f"fleet load-balancer policy ('fleet' only; default {_DEFAULT_BALANCER})",
     )
     parser.add_argument(
         "--quick", action="store_true", help="compressed run lengths (CI-friendly)"
@@ -94,6 +115,19 @@ def _run_one(name: str, args: argparse.Namespace, runner: BatchRunner) -> str:
     return result.render()
 
 
+def _run_fleet(args: argparse.Namespace, runner: BatchRunner) -> str:
+    """Run one fleet over the diurnal day and render the cluster report."""
+    spec = DEFAULT_REGISTRY.build(
+        "fleet-diurnal",
+        workload=args.workload or _DEFAULT_WORKLOAD,
+        n_nodes=args.nodes if args.nodes is not None else _DEFAULT_FLEET_NODES,
+        balancer=args.balancer or _DEFAULT_BALANCER,
+        quick=args.quick,
+        seed=args.seed,
+    )
+    return spec.run(runner).render()
+
+
 def _run_calibration(runner: BatchRunner) -> str:
     platform = juno_r1()
     lines = ["Calibration (Table 1 methodology):"]
@@ -117,15 +151,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         from pathlib import Path
 
         if Path(args.cache_dir).exists() and not Path(args.cache_dir).is_dir():
-            parser.error(f"--cache-dir {args.cache_dir!r} exists and is not a directory")
-    workload_aware = args.experiment in _WORKLOAD_EXPERIMENTS or args.experiment == "all"
+            parser.error(
+                f"--cache-dir {args.cache_dir!r} exists and is not a directory"
+            )
+    workload_aware = (
+        args.experiment in _WORKLOAD_EXPERIMENTS or args.experiment == "all"
+    )
     if args.workload is not None and not workload_aware:
         parser.error(
             f"--workload only applies to {', '.join(sorted(_WORKLOAD_EXPERIMENTS))} "
             f"(and 'all'); '{args.experiment}' ignores it"
         )
+    if args.experiment != "fleet":
+        for flag in ("nodes", "balancer"):
+            if getattr(args, flag) is not None:
+                parser.error(
+                    f"--{flag} only applies to 'fleet'; "
+                    f"'{args.experiment}' ignores it"
+                )
+    elif args.nodes is not None and args.nodes < 1:
+        parser.error("--nodes must be >= 1")
 
     runner = BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    if args.experiment == "fleet":
+        print(_run_fleet(args, runner))
+        _report_cache(runner)
+        return 0
     if args.experiment == "calibrate":
         print(_run_calibration(runner))
         return 0
@@ -133,15 +184,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"\n=== {name} ===")
             print(_run_one(name, args, runner))
-        if runner.cache_dir is not None:
-            print(
-                f"\n[cache] {runner.cache_hits} hit(s), "
-                f"{runner.cache_misses} miss(es) in {runner.cache_dir}",
-                file=sys.stderr,
-            )
+        _report_cache(runner)
         return 0
     print(_run_one(args.experiment, args, runner))
     return 0
+
+
+def _report_cache(runner: BatchRunner) -> None:
+    """Cache statistics on stderr (stdout stays byte-stable across runs)."""
+    if runner.cache_dir is not None:
+        print(
+            f"\n[cache] {runner.cache_hits} hit(s), "
+            f"{runner.cache_misses} miss(es) in {runner.cache_dir}",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

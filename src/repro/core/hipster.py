@@ -37,7 +37,7 @@ from repro.hardware.topology import (
     enumerate_configurations,
 )
 from repro.policies.base import Decision, TaskManager, resolve_decision
-from repro.policies.octopusman import DEFAULT_QOS_DANGER, DEFAULT_QOS_SAFE
+from repro.policies.octopusman import DEFAULT_QOS_DANGER
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim <-> core import cycle
     from repro.sim.records import IntervalObservation
@@ -121,7 +121,9 @@ class Hipster(TaskManager):
     """The hybrid heuristic + Q-learning task manager."""
 
     def __init__(
-        self, variant: Variant | str = Variant.INTERACTIVE, params: HipsterParams | None = None
+        self,
+        variant: Variant | str = Variant.INTERACTIVE,
+        params: HipsterParams | None = None,
     ):
         super().__init__()
         self.variant = Variant(variant)
@@ -263,7 +265,9 @@ class Hipster(TaskManager):
         # truly better configuration needs to take over the argmax.
         bucket = self._current_bucket
         min_visits = min(self._table.visit_count(bucket, a) for a in candidates)
-        least = [a for a in candidates if self._table.visit_count(bucket, a) == min_visits]
+        least = [
+            a for a in candidates if self._table.visit_count(bucket, a) == min_visits
+        ]
         return int(least[self.ctx.rng.integers(len(least))])
 
     def observe(self, observation: "IntervalObservation") -> None:

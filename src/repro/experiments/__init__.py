@@ -30,6 +30,9 @@ module                                             paper artifact
 :mod:`~repro.experiments.table2_characterization`  Table 2
 :mod:`~repro.experiments.table3_summary`           Table 3
 :mod:`~repro.experiments.calibration`              Table 1 methodology
+:mod:`~repro.experiments.fleet_scale`              fleet scaling (beyond
+                                                   the paper: power/QoS
+                                                   vs node count)
 =================================================  =======================
 """
 
@@ -45,6 +48,7 @@ from repro.experiments import (
     fig09_learning_time,
     fig10_bucket_size,
     fig11_collocation,
+    fleet_scale,
     table1_workloads,
     table2_characterization,
     table3_summary,
@@ -62,6 +66,7 @@ EXPERIMENTS = {
     "fig9": fig09_learning_time,
     "fig10": fig10_bucket_size,
     "fig11": fig11_collocation,
+    "fleet-scale": fleet_scale,
     "table1": table1_workloads,
     "table2": table2_characterization,
     "table3": table3_summary,

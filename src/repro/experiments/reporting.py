@@ -23,7 +23,9 @@ def ascii_table(
     """Render a fixed-width table with a separator under the header."""
     str_rows = [[str(cell) for cell in row] for row in rows]
     widths = [
-        max(len(header), *(len(row[i]) for row in str_rows)) if str_rows else len(header)
+        max(len(header), *(len(row[i]) for row in str_rows))
+        if str_rows
+        else len(header)
         for i, header in enumerate(headers)
     ]
     lines = []

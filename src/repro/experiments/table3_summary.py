@@ -45,7 +45,14 @@ class Table3Result:
                     ]
                 )
         return ascii_table(
-            ["policy", "workload", "QoS guarantee", "tardiness", "energy saved", "migr"],
+            [
+                "policy",
+                "workload",
+                "QoS guarantee",
+                "tardiness",
+                "energy saved",
+                "migr",
+            ],
             rows,
             title="Table 3 -- policy summary over the diurnal day",
         )

@@ -1,0 +1,47 @@
+"""Fleet-scale simulation: many Hipster-managed nodes behind a balancer.
+
+The paper manages one Juno board; a production service runs thousands.
+This package opens the node-count axis: a frozen, fingerprinted
+:class:`~repro.fleet.spec.FleetSpec` describes N simulated nodes and a
+load-balancer policy, expands into ordinary per-node
+:class:`~repro.scenarios.spec.ScenarioSpec`s (each node runs the full
+single-board co-simulator with its own manager instance), fans out over
+the existing :class:`~repro.sim.batch.BatchRunner`, and folds node runs
+into cluster-level metrics (total watts, tail-of-tails QoS, utilization
+skew) in :mod:`repro.fleet.aggregate`.
+
+Importing this package registers the fleet scenario families
+(``fleet-diurnal``, ``fleet-ramp``, ``fleet-collocation``) in
+:data:`repro.scenarios.DEFAULT_REGISTRY`.
+"""
+
+from repro.fleet import families  # noqa: F401  (registers fleet families)
+from repro.fleet.aggregate import FleetOutcome
+from repro.fleet.balancer import (
+    BALANCER_FACTORIES,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    PowerAwareBalancer,
+    RoundRobinBalancer,
+    build_balancer,
+)
+from repro.fleet.spec import FLEET_SCHEMA_VERSION, FleetSpec
+
+
+def run_fleet(spec: FleetSpec, runner=None) -> FleetOutcome:
+    """Run a fleet spec through a batch runner (see :meth:`FleetSpec.run`)."""
+    return spec.run(runner)
+
+
+__all__ = [
+    "BALANCER_FACTORIES",
+    "FLEET_SCHEMA_VERSION",
+    "FleetOutcome",
+    "FleetSpec",
+    "LeastLoadedBalancer",
+    "LoadBalancer",
+    "PowerAwareBalancer",
+    "RoundRobinBalancer",
+    "build_balancer",
+    "run_fleet",
+]

@@ -1,0 +1,173 @@
+"""Fleet-level aggregation: what the cluster operator's dashboard shows.
+
+A fleet run is N independent node runs; this module folds them into the
+quantities that only exist at cluster scope -- total power draw, the
+tail-of-tails QoS (a user's request is slow if *its* node was slow, and
+the fleet's p-worst interval is governed by the worst node), and the
+utilization skew the balancer policy induced across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fleet.spec import FleetSpec
+from repro.scenarios.spec import ScenarioOutcome
+from repro.sim.latency import qos_tardiness
+from repro.sim.records import ExperimentResult
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    """What a fleet run produced: one node outcome per fleet member."""
+
+    spec: FleetSpec
+    nodes: tuple[ScenarioOutcome, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a fleet outcome needs at least one node")
+        lengths = {len(outcome.result) for outcome in self.nodes}
+        if len(lengths) != 1:
+            raise ValueError(f"nodes ran unequal interval counts: {sorted(lengths)}")
+
+    # ------------------------------------------------------------------
+    # per-node views
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Fleet size."""
+        return len(self.nodes)
+
+    @property
+    def node_results(self) -> tuple[ExperimentResult, ...]:
+        """Each node's raw experiment result, in node order."""
+        return tuple(outcome.result for outcome in self.nodes)
+
+    @property
+    def target_latency_ms(self) -> float:
+        """The workload QoS target (identical on every node)."""
+        return self.node_results[0].target_latency_ms
+
+    def node_mean_powers_w(self) -> np.ndarray:
+        """Mean power per node, watts."""
+        return np.array([result.mean_power_w() for result in self.node_results])
+
+    def node_qos_guarantees(self) -> np.ndarray:
+        """Per-node QoS guarantee fractions."""
+        return np.array([result.qos_guarantee() for result in self.node_results])
+
+    def node_mean_utilizations(self) -> np.ndarray:
+        """Per-node mean queue utilization over the run."""
+        return np.array(
+            [
+                float(np.mean([o.mean_utilization for o in result]))
+                for result in self.node_results
+            ]
+        )
+
+    def node_mean_loads(self) -> np.ndarray:
+        """Per-node mean offered load (what the balancer assigned)."""
+        return np.array(
+            [float(np.mean(result.loads)) for result in self.node_results]
+        )
+
+    # ------------------------------------------------------------------
+    # fleet-level metrics
+    # ------------------------------------------------------------------
+
+    def total_mean_power_w(self) -> float:
+        """Aggregate fleet power draw, watts."""
+        return float(self.node_mean_powers_w().sum())
+
+    def total_energy_j(self) -> float:
+        """Total fleet energy over the run, joules."""
+        return float(sum(result.total_energy_j() for result in self.node_results))
+
+    def fleet_tails_ms(self) -> np.ndarray:
+        """Tail-of-tails per interval: the worst node's tail latency."""
+        return np.max([result.tails_ms for result in self.node_results], axis=0)
+
+    def fleet_qos_guarantee(self) -> float:
+        """Fraction of intervals in which *every* node met the target."""
+        return float(np.mean(self.fleet_tails_ms() <= self.target_latency_ms))
+
+    def fleet_qos_tardiness(self) -> float:
+        """Mean tail-of-tails overshoot over violating intervals only
+        (0.0 when nothing violates, matching the single-node
+        :func:`repro.sim.latency.qos_tardiness` convention)."""
+        return qos_tardiness(self.fleet_tails_ms(), self.target_latency_ms)
+
+    def utilization_skew(self) -> float:
+        """Coefficient of variation of per-node utilization.
+
+        0 means the balancer spread work perfectly evenly; a
+        consolidating policy (power-aware) runs high skew on purpose.
+        """
+        utils = self.node_mean_utilizations()
+        mean = float(np.mean(utils))
+        if mean <= 0:
+            return 0.0
+        return float(np.std(utils) / mean)
+
+    def fleet_powers_w(self) -> np.ndarray:
+        """Aggregate fleet power per interval, watts."""
+        return np.sum([result.powers_w for result in self.node_results], axis=0)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The fleet report: headline metrics plus a per-node table."""
+        # Imported lazily: repro.experiments itself imports the fleet
+        # package (fleet_scale), so a module-level import would cycle.
+        from repro.experiments.reporting import ascii_table, series_block
+
+        capacities = self.spec.node_capacities()
+        rows = []
+        for index, result in enumerate(self.node_results):
+            rows.append(
+                [
+                    f"node{index:02d}",
+                    f"{capacities[index]:.3f}",
+                    f"{float(np.mean(result.loads)) * 100:.1f}%",
+                    f"{result.qos_guarantee() * 100:.1f}%",
+                    f"{result.mean_power_w():.2f}W",
+                    f"{float(np.mean([o.mean_utilization for o in result])):.2f}",
+                ]
+            )
+        return "\n".join(
+            [
+                f"Fleet -- {self.spec.describe()} "
+                f"({self.n_nodes} nodes, balancer={self.spec.balancer})",
+                series_block("fleet power (W)", self.fleet_powers_w(), unit="W"),
+                series_block(
+                    "tail-of-tails (ms)", self.fleet_tails_ms(), unit="ms"
+                ),
+                ascii_table(
+                    ["metric", "value"],
+                    [
+                        ["total mean power", f"{self.total_mean_power_w():.2f} W"],
+                        ["total energy", f"{self.total_energy_j():.0f} J"],
+                        [
+                            "fleet QoS guarantee",
+                            f"{self.fleet_qos_guarantee() * 100:.1f}%",
+                        ],
+                        [
+                            "tail-of-tails tardiness",
+                            f"{self.fleet_qos_tardiness():.2f}",
+                        ],
+                        ["utilization skew (CV)", f"{self.utilization_skew():.3f}"],
+                    ],
+                ),
+                ascii_table(
+                    ["node", "capacity", "mean load", "QoS", "power", "util"],
+                    rows,
+                    title="Per-node breakdown:",
+                ),
+            ]
+        )

@@ -1,0 +1,131 @@
+"""Fleet scenario families, registered alongside the single-node ones.
+
+Mirrors the single-node families in :mod:`repro.scenarios.registry` one
+level up: the same diurnal day / ramp / collocation shapes, but offered
+to a whole cluster and split across nodes by a balancer policy.  The
+fleet trace is interpreted as a fraction of *nominal fleet* capacity, so
+the same family scales from 1 node to hundreds by changing ``n_nodes``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fleet.spec import FleetSpec
+from repro.scenarios.registry import (
+    DEFAULT_REGISTRY,
+    DIURNAL_TRACE_SEED,
+    diurnal_duration_s,
+    manager_params_with_learning,
+)
+from repro.scenarios.spec import DEFAULT_SEED, TraceSpec
+
+
+@DEFAULT_REGISTRY.register("fleet-diurnal")
+def fleet_diurnal(
+    *,
+    workload: str,
+    manager: str = "hipster-in",
+    n_nodes: int = 8,
+    balancer: str = "round-robin",
+    balancer_params: dict[str, Any] | None = None,
+    capacity_spread: float = 0.08,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    trace_seed: int = DIURNAL_TRACE_SEED,
+    manager_params: dict[str, Any] | None = None,
+    learning_s: float | None = None,
+) -> FleetSpec:
+    """The diurnal day served by an N-node fleet (the Figure 5/6 shape
+    at cluster scale)."""
+    return FleetSpec(
+        workload=workload,
+        trace=TraceSpec.diurnal(
+            diurnal_duration_s(workload, quick=quick), seed=trace_seed
+        ),
+        manager=manager,
+        n_nodes=n_nodes,
+        balancer=balancer,
+        balancer_params=balancer_params or {},
+        capacity_spread=capacity_spread,
+        manager_params=manager_params_with_learning(
+            manager, manager_params, quick=quick, learning_s=learning_s
+        ),
+        seed=seed,
+        label=f"{workload}/{manager}x{n_nodes}/{balancer}/diurnal",
+    )
+
+
+@DEFAULT_REGISTRY.register("fleet-ramp")
+def fleet_ramp(
+    *,
+    manager: str = "hipster-in",
+    workload: str = "memcached",
+    n_nodes: int = 8,
+    balancer: str = "round-robin",
+    balancer_params: dict[str, Any] | None = None,
+    capacity_spread: float = 0.08,
+    warmup_s: float = 700.0,
+    start_level: float = 0.50,
+    end_level: float = 1.00,
+    ramp_s: float = 175.0,
+    hold_s: float = 25.0,
+    trace_seed: int = 7,
+    seed: int = DEFAULT_SEED,
+    manager_params: dict[str, Any] | None = None,
+    learning_s: float | None = None,
+) -> FleetSpec:
+    """Fleet-wide warm-up then a load ramp: every node's manager must
+    adapt while the balancer decides who absorbs the surge."""
+    return FleetSpec(
+        workload=workload,
+        trace=TraceSpec.concat(
+            TraceSpec.diurnal(warmup_s, seed=trace_seed),
+            TraceSpec.ramp(start_level, end_level, ramp_s, hold_s=hold_s),
+        ),
+        manager=manager,
+        n_nodes=n_nodes,
+        balancer=balancer,
+        balancer_params=balancer_params or {},
+        capacity_spread=capacity_spread,
+        manager_params=manager_params_with_learning(
+            manager, manager_params, quick=False, learning_s=learning_s
+        ),
+        seed=seed,
+        label=f"{workload}/{manager}x{n_nodes}/{balancer}/ramp",
+    )
+
+
+@DEFAULT_REGISTRY.register("fleet-collocation")
+def fleet_collocation(
+    *,
+    program: str = "calculix",
+    manager: str = "hipster-co",
+    workload: str = "websearch",
+    n_nodes: int = 8,
+    balancer: str = "round-robin",
+    balancer_params: dict[str, Any] | None = None,
+    capacity_spread: float = 0.08,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    manager_params: dict[str, Any] | None = None,
+    learning_s: float | None = None,
+) -> FleetSpec:
+    """Every node collocates the latency-critical service with one SPEC
+    CPU2006 program per leftover core (Figure 11 at cluster scale)."""
+    spec = fleet_diurnal(
+        workload=workload,
+        manager=manager,
+        n_nodes=n_nodes,
+        balancer=balancer,
+        balancer_params=balancer_params,
+        capacity_spread=capacity_spread,
+        quick=quick,
+        seed=seed,
+        manager_params=manager_params,
+        learning_s=learning_s,
+    )
+    return spec.with_(
+        batch_jobs=f"spec:{program}",
+        label=f"{workload}+{program}/{manager}x{n_nodes}/{balancer}",
+    )

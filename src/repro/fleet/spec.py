@@ -1,0 +1,246 @@
+"""Frozen fleet descriptions and their expansion into node runs.
+
+A :class:`FleetSpec` is to a cluster what a
+:class:`~repro.scenarios.spec.ScenarioSpec` is to one board: plain
+frozen data -- workload, fleet trace, per-node manager, node count,
+balancer policy, seed -- that is hashable, picklable and fingerprinted.
+Expansion (:meth:`FleetSpec.node_specs`) is a pure function of the spec:
+the balancer splits the fleet trace into per-node sampled traces, each
+node gets a deterministic capacity factor (modelling board-to-board
+manufacturing spread) and a derived seed, and the result is a tuple of
+ordinary scenario specs.  Those run through the existing
+:class:`~repro.sim.batch.BatchRunner` unchanged, so fleets inherit the
+process fan-out, serial-vs-parallel determinism and fingerprint caching
+of single-node batches for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.fleet.balancer import BALANCER_FACTORIES, build_balancer
+from repro.scenarios.spec import (
+    DEFAULT_SEED,
+    SCHEMA_VERSION,
+    Params,
+    ScenarioSpec,
+    TraceSpec,
+    freeze_params,
+    thaw_params,
+)
+from repro.sim.queueing import KERNEL_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.aggregate import FleetOutcome
+    from repro.sim.batch import BatchRunner
+
+#: Bump to invalidate fleet-derived node fingerprints when the expansion
+#: semantics change (capacity model, seed derivation, balancer contract).
+FLEET_SCHEMA_VERSION = 1
+
+#: Offset mixed into per-node seeds so node RNG streams never collide
+#: with the fleet seed itself or with neighbouring single-node runs.
+_NODE_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """N simulated Hipster-managed nodes behind one load balancer.
+
+    Parameters
+    ----------
+    workload:
+        Workload registry key, served identically by every node.
+    trace:
+        Fleet-level offered load as a fraction of the *nominal* fleet
+        capacity (``n_nodes`` ideal boards).
+    manager:
+        Per-node manager factory key (each node runs its own instance).
+    n_nodes:
+        Fleet size.
+    balancer / balancer_params:
+        Load-balancer key in
+        :data:`repro.fleet.balancer.BALANCER_FACTORIES` plus keyword
+        overrides (e.g. ``target_level`` for ``"power-aware"``).
+    capacity_spread:
+        Half-width of the uniform per-node capacity jitter around 1.0;
+        0 makes the fleet perfectly homogeneous.
+    manager_params / workload_params / platform / batch_jobs:
+        Forwarded to every node's :class:`ScenarioSpec`.
+    seed:
+        Fleet seed; node seeds and capacity factors derive from it.
+    interval_s:
+        Dispatch granularity of the balancer (matches the engine's
+        monitoring interval).
+    label:
+        Free-form display name; excluded from the fingerprint.
+    """
+
+    workload: str
+    trace: TraceSpec
+    manager: str
+    n_nodes: int = 8
+    balancer: str = "round-robin"
+    balancer_params: Params = ()
+    capacity_spread: float = 0.08
+    manager_params: Params = ()
+    workload_params: Params = ()
+    platform: str = "juno_r1"
+    batch_jobs: str | None = None
+    seed: int = DEFAULT_SEED
+    interval_s: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for attr in ("balancer_params", "manager_params", "workload_params"):
+            object.__setattr__(self, attr, freeze_params(getattr(self, attr)))
+        if self.n_nodes < 1:
+            raise ValueError("a fleet needs at least one node")
+        if not 0.0 <= self.capacity_spread < 1.0:
+            raise ValueError("capacity_spread must be in [0, 1)")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.balancer not in BALANCER_FACTORIES:
+            raise KeyError(
+                f"unknown balancer {self.balancer!r}; "
+                f"available: {sorted(BALANCER_FACTORIES)}"
+            )
+        # Node-field validation (workload/manager/platform/batch keys)
+        # happens through ScenarioSpec's own __post_init__; build a probe
+        # so a bad fleet spec fails at construction, not at expansion.
+        ScenarioSpec(
+            workload=self.workload,
+            trace=self.trace,
+            manager=self.manager,
+            manager_params=self.manager_params,
+            workload_params=self.workload_params,
+            platform=self.platform,
+            batch_jobs=self.batch_jobs,
+        )
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+
+    def with_(self, **changes: Any) -> "FleetSpec":
+        """A copy with the given fields replaced (params re-frozen)."""
+        return replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Stable identity over every expansion-affecting field."""
+        payload = (
+            FLEET_SCHEMA_VERSION,
+            SCHEMA_VERSION,
+            KERNEL_VERSION,
+            self.workload,
+            self.workload_params,
+            self.trace,
+            self.manager,
+            self.manager_params,
+            self.n_nodes,
+            self.balancer,
+            self.balancer_params,
+            self.capacity_spread,
+            self.platform,
+            self.batch_jobs,
+            self.seed,
+            self.interval_s,
+        )
+        return hashlib.sha256(repr(payload).encode()).hexdigest()[:24]
+
+    def describe(self) -> str:
+        """Short human-readable identity for logs and reports."""
+        return self.label or (
+            f"{self.workload}/{self.manager}x{self.n_nodes}/{self.balancer}"
+        )
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+
+    def node_capacities(self) -> np.ndarray:
+        """Per-node capacity factors around 1.0, derived from the seed.
+
+        Capacity scales a node's achievable throughput: the expansion
+        divides the workload's service demand by it, so a 0.92-capacity
+        board is 8% slower than nominal.  The draw uses its own stream
+        (seed XOR a constant) so it never aliases the run seeds.
+        """
+        rng = np.random.default_rng(self.seed ^ 0x5EED5)
+        jitter = rng.uniform(-1.0, 1.0, self.n_nodes)
+        return np.round(1.0 + self.capacity_spread * jitter, 6)
+
+    def fleet_loads(self) -> np.ndarray:
+        """Fleet offered load per interval (sampled at interval midpoints,
+        matching the engine's own trace sampling)."""
+        trace = self.trace.build()
+        n = trace.n_intervals(self.interval_s)
+        if n <= 0:
+            raise ValueError("the fleet trace is shorter than one interval")
+        mids = (np.arange(n) + 0.5) * self.interval_s
+        return np.array([trace.load_at(t) for t in mids])
+
+    def node_seed(self, index: int) -> int:
+        """The run seed of node ``index``."""
+        return self.seed + _NODE_SEED_STRIDE * (index + 1)
+
+    def node_specs(self) -> tuple[ScenarioSpec, ...]:
+        """Expand into one :class:`ScenarioSpec` per node.
+
+        Pure data in, pure data out: the same fleet spec always expands
+        to the same node specs (hence the same fingerprints), no matter
+        which process performs the expansion.
+        """
+        from repro.scenarios import factories
+
+        capacities = self.node_capacities()
+        balancer = build_balancer(self.balancer, self.balancer_params)
+        levels = balancer.split(self.fleet_loads(), capacities)
+        base_demand_ms = factories.build_workload(
+            self.workload, self.workload_params
+        ).demand_mean_ms
+
+        specs = []
+        for index in range(self.n_nodes):
+            node_params = thaw_params(self.workload_params)
+            node_params["demand_mean_ms"] = round(
+                base_demand_ms / capacities[index], 9
+            )
+            specs.append(
+                ScenarioSpec(
+                    workload=self.workload,
+                    trace=TraceSpec.sampled(
+                        np.round(levels[:, index], 6),
+                        interval_s=self.interval_s,
+                    ),
+                    manager=self.manager,
+                    manager_params=self.manager_params,
+                    workload_params=node_params,
+                    platform=self.platform,
+                    batch_jobs=self.batch_jobs,
+                    seed=self.node_seed(index),
+                    label=f"{self.describe()}/node{index:02d}",
+                )
+            )
+        return tuple(specs)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, runner: "BatchRunner | None" = None) -> "FleetOutcome":
+        """Run every node through the batch layer and aggregate.
+
+        Node runs fan out across the runner's worker pool and land in its
+        fingerprint cache individually, so re-running a fleet after a
+        code or spec change only recomputes the nodes it affected.
+        """
+        from repro.fleet.aggregate import FleetOutcome
+        from repro.sim.batch import get_runner
+
+        outcomes = get_runner(runner).run(self.node_specs())
+        return FleetOutcome(spec=self, nodes=tuple(outcomes))

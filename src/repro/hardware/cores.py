@@ -207,7 +207,9 @@ class Cluster:
         """
         unknown = set(utilizations) - set(self.core_ids)
         if unknown:
-            raise ValueError(f"unknown core ids for cluster {self.name}: {sorted(unknown)}")
+            raise ValueError(
+                f"unknown core ids for cluster {self.name}: {sorted(unknown)}"
+            )
         total = self.static_power(freq_ghz)
         for core_id in self.core_ids:
             util = utilizations.get(core_id, 0.0)

@@ -73,11 +73,15 @@ class DVFSController:
 
     def set_max(self, cluster_name: str) -> bool:
         """Pin a cluster to its highest operating point."""
-        return self.set_frequency(cluster_name, self._cluster(cluster_name).max_freq_ghz)
+        return self.set_frequency(
+            cluster_name, self._cluster(cluster_name).max_freq_ghz
+        )
 
     def set_min(self, cluster_name: str) -> bool:
         """Pin a cluster to its lowest operating point."""
-        return self.set_frequency(cluster_name, self._cluster(cluster_name).min_freq_ghz)
+        return self.set_frequency(
+            cluster_name, self._cluster(cluster_name).min_freq_ghz
+        )
 
     @property
     def transitions(self) -> int:

@@ -57,7 +57,9 @@ class PowerModel:
         platform = self.platform
         gate = self.kernel.cpuidle_enabled
         big_utils = {
-            cid: utilizations[cid] for cid in platform.big.core_ids if cid in utilizations
+            cid: utilizations[cid]
+            for cid in platform.big.core_ids
+            if cid in utilizations
         }
         small_utils = {
             cid: utilizations[cid]
@@ -98,7 +100,9 @@ class PowerModel:
             raise ValueError(f"n_active must be within [0, {cluster.n_cores}]")
         utils = {cid: 1.0 for cid in cluster.core_ids[:n_active]}
         return (
-            cluster.power_w(freq_ghz, utils, power_gate_idle=self.kernel.cpuidle_enabled)
+            cluster.power_w(
+                freq_ghz, utils, power_gate_idle=self.kernel.cpuidle_enabled
+            )
             + self.platform.rest_of_system_w
         )
 

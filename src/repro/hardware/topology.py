@@ -148,7 +148,9 @@ def config_capacity_ips(platform: Platform, config: Configuration) -> float:
     validate_configuration(platform, config)
     total = 0.0
     if config.n_big:
-        total += config.n_big * platform.big.core_type.microbench_ips(config.big_freq_ghz)
+        total += config.n_big * platform.big.core_type.microbench_ips(
+            config.big_freq_ghz
+        )
     if config.n_small:
         total += config.n_small * platform.small.core_type.microbench_ips(
             config.small_freq_ghz

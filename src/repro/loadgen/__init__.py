@@ -10,6 +10,7 @@ from repro.loadgen.traces import (
     ConstantTrace,
     LoadTrace,
     RampTrace,
+    SampledTrace,
     SpikeTrace,
     StepTrace,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "DiurnalTrace",
     "LoadTrace",
     "RampTrace",
+    "SampledTrace",
     "SpikeTrace",
     "StepTrace",
     "diurnal_shape",

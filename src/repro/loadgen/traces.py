@@ -144,6 +144,38 @@ class ConcatTrace(LoadTrace):
 
 
 @dataclass(frozen=True)
+class SampledTrace(LoadTrace):
+    """Uniformly sampled load levels, one per ``interval_s`` seconds.
+
+    Unlike :class:`StepTrace` (which scans its steps on every lookup),
+    lookups here are O(1), so a fleet of nodes can each carry a
+    per-interval load schedule hundreds of entries long -- the shape a
+    load balancer emits -- without quadratic replay cost.
+    """
+
+    levels: tuple[float, ...]
+    interval_s: float = 1.0
+    duration_s: float = 0.0
+
+    def __init__(self, levels: Sequence[float], interval_s: float = 1.0):
+        if not levels:
+            raise ValueError("need at least one level")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        for level in levels:
+            if not 0.0 <= level <= 1.5:
+                raise ValueError("levels must be within [0, 1.5]")
+        object.__setattr__(self, "levels", tuple(float(level) for level in levels))
+        object.__setattr__(self, "interval_s", float(interval_s))
+        object.__setattr__(self, "duration_s", float(len(levels) * interval_s))
+
+    def load_at(self, t: float) -> float:
+        t = self._check(t)
+        index = min(int(t / self.interval_s), len(self.levels) - 1)
+        return self.levels[index]
+
+
+@dataclass(frozen=True)
 class SpikeTrace(LoadTrace):
     """A sudden load spike on top of a base level (Section 2's 'sudden
     load spikes' stressor)."""

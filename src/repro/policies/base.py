@@ -68,12 +68,16 @@ def resolve_decision(
     if config.big_freq_ghz is not None:
         big_freq = config.big_freq_ghz
     else:
-        big_freq = platform.big.max_freq_ghz if collocate_batch else platform.big.min_freq_ghz
+        big_freq = (
+            platform.big.max_freq_ghz if collocate_batch else platform.big.min_freq_ghz
+        )
     if config.small_freq_ghz is not None:
         small_freq = config.small_freq_ghz
     else:
         small_freq = (
-            platform.small.max_freq_ghz if collocate_batch else platform.small.min_freq_ghz
+            platform.small.max_freq_ghz
+            if collocate_batch
+            else platform.small.min_freq_ghz
         )
     return Decision(
         config=config,

@@ -90,7 +90,9 @@ class LadderStateMachine:
                 self.smoothing * tail_latency_ms
                 + (1.0 - self.smoothing) * self._ewma_ms
             )
-        signal = max(self._ewma_ms, tail_latency_ms if tail_latency_ms > target_ms else 0.0)
+        signal = max(
+            self._ewma_ms, tail_latency_ms if tail_latency_ms > target_ms else 0.0
+        )
         if signal > target_ms * self.qos_danger:
             self.index = min(self.index + 1, len(self.ladder) - 1)
             self._ewma_ms = min(self._ewma_ms, target_ms * self.qos_danger)
@@ -117,7 +119,9 @@ class LadderStateMachine:
             freq = abs((candidate.big_freq_ghz or 0.0) - (config.big_freq_ghz or 0.0))
             return (cores, freq)
 
-        self.index = min(range(len(self.ladder)), key=lambda i: distance(self.ladder[i]))
+        self.index = min(
+            range(len(self.ladder)), key=lambda i: distance(self.ladder[i])
+        )
 
 
 class OctopusMan(TaskManager):

@@ -19,7 +19,11 @@ class StaticPolicy(TaskManager):
     """Always apply one fixed configuration."""
 
     def __init__(
-        self, config: Configuration, *, collocate_batch: bool = False, name: str | None = None
+        self,
+        config: Configuration,
+        *,
+        collocate_batch: bool = False,
+        name: str | None = None,
     ):
         super().__init__()
         self._config = config
@@ -32,7 +36,9 @@ class StaticPolicy(TaskManager):
         )
 
 
-def static_all_big(platform: Platform, *, collocate_batch: bool = False) -> StaticPolicy:
+def static_all_big(
+    platform: Platform, *, collocate_batch: bool = False
+) -> StaticPolicy:
     """Static (all big cores) at maximum DVFS -- the paper's energy baseline."""
     config = Configuration(
         n_big=platform.big.n_cores,
@@ -43,7 +49,9 @@ def static_all_big(platform: Platform, *, collocate_batch: bool = False) -> Stat
     return StaticPolicy(config, collocate_batch=collocate_batch, name="static-big")
 
 
-def static_all_small(platform: Platform, *, collocate_batch: bool = False) -> StaticPolicy:
+def static_all_small(
+    platform: Platform, *, collocate_batch: bool = False
+) -> StaticPolicy:
     """Static (all small cores) -- cheap but QoS-violating at high load."""
     config = Configuration(
         n_big=0,

@@ -22,6 +22,7 @@ from repro.loadgen.traces import (
     ConstantTrace,
     LoadTrace,
     RampTrace,
+    SampledTrace,
     SpikeTrace,
     StepTrace,
 )
@@ -51,6 +52,7 @@ TRACE_BUILDERS: dict[str, Callable[..., LoadTrace]] = {
     "diurnal": DiurnalTrace,
     "constant": ConstantTrace,
     "ramp": RampTrace,
+    "sampled": SampledTrace,
     "step": StepTrace,
     "spike": SpikeTrace,
 }

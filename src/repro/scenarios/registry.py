@@ -50,17 +50,22 @@ def diurnal_duration_s(workload: str, *, quick: bool = False) -> float:
 
 
 class ScenarioRegistry:
-    """Name -> spec-factory mapping with decorator registration."""
+    """Name -> spec-factory mapping with decorator registration.
+
+    Factories usually build a single-node
+    :class:`~repro.scenarios.spec.ScenarioSpec`; the fleet families in
+    :mod:`repro.fleet.families` register factories that build a
+    :class:`~repro.fleet.spec.FleetSpec` under the same namespace, so a
+    registry entry is any callable returning a frozen run description.
+    """
 
     def __init__(self) -> None:
-        self._factories: dict[str, Callable[..., ScenarioSpec]] = {}
+        self._factories: dict[str, Callable[..., Any]] = {}
 
-    def register(
-        self, name: str, factory: Callable[..., ScenarioSpec] | None = None
-    ):
+    def register(self, name: str, factory: Callable[..., Any] | None = None):
         """Register a factory under ``name`` (usable as a decorator)."""
 
-        def _add(fn: Callable[..., ScenarioSpec]) -> Callable[..., ScenarioSpec]:
+        def _add(fn: Callable[..., Any]) -> Callable[..., Any]:
             if name in self._factories:
                 raise ValueError(f"scenario family {name!r} already registered")
             self._factories[name] = fn
@@ -68,7 +73,7 @@ class ScenarioRegistry:
 
         return _add(factory) if factory is not None else _add
 
-    def build(self, name: str, **kwargs: Any) -> ScenarioSpec:
+    def build(self, name: str, **kwargs: Any) -> Any:
         """Build one spec from the named family."""
         try:
             factory = self._factories[name]
@@ -92,7 +97,7 @@ class ScenarioRegistry:
 DEFAULT_REGISTRY = ScenarioRegistry()
 
 
-def _manager_params_with_learning(
+def manager_params_with_learning(
     manager: str,
     manager_params: dict[str, Any] | None,
     *,
@@ -127,7 +132,7 @@ def diurnal_policy(
             diurnal_duration_s(workload, quick=quick), seed=trace_seed
         ),
         manager=manager,
-        manager_params=_manager_params_with_learning(
+        manager_params=manager_params_with_learning(
             manager, manager_params, quick=quick, learning_s=learning_s
         ),
         batch_jobs=batch_jobs,
@@ -206,7 +211,7 @@ def load_ramp(
             TraceSpec.ramp(start_level, end_level, ramp_s, hold_s=hold_s),
         ),
         manager=manager,
-        manager_params=_manager_params_with_learning(
+        manager_params=manager_params_with_learning(
             manager, manager_params, quick=False, learning_s=learning_s
         ),
         seed=seed,

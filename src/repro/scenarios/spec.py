@@ -70,7 +70,8 @@ class TraceSpec:
 
     ``kind`` selects a builder from
     :data:`repro.scenarios.factories.TRACE_BUILDERS` (``"diurnal"``,
-    ``"constant"``, ``"ramp"``, ``"step"``, ``"spike"``) and ``params``
+    ``"constant"``, ``"ramp"``, ``"sampled"``, ``"step"``, ``"spike"``)
+    and ``params``
     are its keyword arguments; ``kind="concat"`` plays ``parts`` back to
     back instead.
     """
@@ -120,6 +121,16 @@ class TraceSpec:
                 "lead_s": lead_s,
                 "hold_s": hold_s,
             },
+        )
+
+    @classmethod
+    def sampled(
+        cls, levels: Iterable[float], *, interval_s: float = 1.0
+    ) -> "TraceSpec":
+        """Per-interval load levels, as a load balancer emits them."""
+        return cls(
+            "sampled",
+            {"levels": tuple(float(v) for v in levels), "interval_s": interval_s},
         )
 
     @classmethod

@@ -6,7 +6,7 @@ import pickle
 
 import pytest
 
-from repro.scenarios import DEFAULT_REGISTRY, ScenarioSpec, TraceSpec
+from repro.scenarios import ScenarioSpec, TraceSpec
 from repro.sim.batch import BatchRunner, get_runner
 
 

@@ -1,0 +1,98 @@
+"""CLI argument validation: every parser.error path, plus fleet smoke.
+
+``parser.error`` exits with status 2; these tests pin that contract for
+the flag combinations the CLI rejects instead of silently ignoring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def error_message(capsys) -> str:
+    """The argparse error text of the call that just exited."""
+    return capsys.readouterr().err
+
+
+def test_parser_builds_and_lists_fleet():
+    parser = build_parser()
+    help_text = parser.format_help()
+    assert "fleet" in help_text
+    assert "--nodes" in help_text and "--balancer" in help_text
+
+
+class TestRejections:
+    def test_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "--jobs must be >= 1" in error_message(capsys)
+
+    def test_jobs_negative_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "--jobs", "-3"])
+        assert excinfo.value.code == 2
+
+    def test_workload_on_agnostic_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "--workload", "memcached"])
+        assert excinfo.value.code == 2
+        assert "--workload only applies" in error_message(capsys)
+
+    def test_nodes_on_non_fleet_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "--nodes", "4"])
+        assert excinfo.value.code == 2
+        assert "--nodes only applies to 'fleet'" in error_message(capsys)
+
+    def test_balancer_on_non_fleet_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig2", "--balancer", "power-aware"])
+        assert excinfo.value.code == 2
+        assert "--balancer only applies to 'fleet'" in error_message(capsys)
+
+    def test_fleet_rejects_nonpositive_nodes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--nodes", "0"])
+        assert excinfo.value.code == 2
+        assert "--nodes must be >= 1" in error_message(capsys)
+
+    def test_fleet_rejects_unknown_balancer(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--balancer", "coin-flip"])
+        assert excinfo.value.code == 2  # argparse choices
+
+    def test_cache_dir_must_be_directory(self, tmp_path, capsys):
+        clash = tmp_path / "not-a-dir"
+        clash.write_text("occupied")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "--cache-dir", str(clash)])
+        assert excinfo.value.code == 2
+        assert "not a directory" in error_message(capsys)
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
+
+
+class TestFleetFlagsAccepted:
+    def test_fleet_accepts_nodes_balancer_and_workload(self):
+        """The fleet flags parse cleanly (validation only fires in main)."""
+        args = build_parser().parse_args(
+            ["fleet", "--nodes", "16", "--balancer", "least-loaded",
+             "--workload", "websearch", "--quick"]
+        )
+        assert args.nodes == 16
+        assert args.balancer == "least-loaded"
+        assert args.workload == "websearch"
+
+    @pytest.mark.slow
+    def test_fleet_smoke(self, capsys):
+        """End-to-end: a small quick fleet prints the cluster report."""
+        assert main(["fleet", "--quick", "--nodes", "2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet --" in out
+        assert "tail-of-tails" in out

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig09_learning_time,
     fig10_bucket_size,
     fig11_collocation,
+    fleet_scale,
     table1_workloads,
     table2_characterization,
     table3_summary,
@@ -119,6 +120,30 @@ class TestFig11:
         result = fig11_collocation.run(quick=True)
         assert result.mean_qos("hipster-co") > result.mean_qos("octopus-man")
         assert result.mean_energy("hipster-co") < result.mean_energy("octopus-man")
+
+
+@pytest.mark.slow
+class TestFleetScale:
+    def test_power_scales_with_nodes_and_skew_tracks_policy(self):
+        result = fleet_scale.run(
+            quick=True, node_counts=(1, 4), balancers=("round-robin", "power-aware")
+        )
+        assert result.node_counts() == (1, 4)
+        assert result.balancers() == ("round-robin", "power-aware")
+        for balancer in result.balancers():
+            small = result.row(balancer, 1)
+            large = result.row(balancer, 4)
+            # Total power grows roughly with fleet size...
+            assert large.total_power_w > 3.0 * small.total_power_w
+            # ...while per-node power stays in the single-board ballpark.
+            assert 0.5 * small.total_power_w < large.power_per_node_w
+            assert large.power_per_node_w < 2.0 * small.total_power_w
+        # Consolidation is the whole point of power-aware balancing:
+        # it must run visibly more utilization skew than an even deal.
+        even = result.row("round-robin", 4)
+        consolidated = result.row("power-aware", 4)
+        assert consolidated.utilization_skew > even.utilization_skew + 0.05
+        assert "Fleet scaling" in result.render()
 
 
 class TestTables:

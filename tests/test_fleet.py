@@ -1,0 +1,255 @@
+"""Tests for the fleet layer: balancers, FleetSpec, aggregation, caching."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    BALANCER_FACTORIES,
+    FleetSpec,
+    build_balancer,
+    run_fleet,
+)
+from repro.fleet.balancer import MAX_NODE_LEVEL
+from repro.loadgen.traces import SampledTrace
+from repro.scenarios import DEFAULT_REGISTRY, ScenarioSpec, TraceSpec
+from repro.sim.batch import BatchRunner
+
+
+def tiny_fleet(n_nodes: int = 3, **overrides) -> FleetSpec:
+    """A fast fleet: constant load, short trace, cheap static manager."""
+    defaults = dict(
+        workload="memcached",
+        trace=TraceSpec.constant(0.6, 12.0),
+        manager="static-big",
+        n_nodes=n_nodes,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+class TestSampledTrace:
+    def test_constant_time_lookup_matches_levels(self):
+        trace = SampledTrace([0.1, 0.5, 0.9], interval_s=2.0)
+        assert trace.duration_s == 6.0
+        assert trace.load_at(0.5) == 0.1
+        assert trace.load_at(3.0) == 0.5
+        assert trace.load_at(5.9) == 0.9
+        # Clamped at the end like every other trace.
+        assert trace.load_at(100.0) == 0.9
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SampledTrace([])
+        with pytest.raises(ValueError, match="interval_s"):
+            SampledTrace([0.5], interval_s=0.0)
+        with pytest.raises(ValueError, match="levels"):
+            SampledTrace([2.0])
+
+    def test_spec_roundtrip(self):
+        spec = TraceSpec.sampled([0.2, 0.4], interval_s=1.0)
+        trace = spec.build()
+        assert isinstance(trace, SampledTrace)
+        assert trace.levels == (0.2, 0.4)
+
+
+class TestBalancers:
+    CAPACITIES = np.array([1.05, 0.95, 1.0, 0.9])
+    # Includes the trace layer's extreme 1.5: capacity-weighted splits
+    # would push top nodes past the per-node cap, so conservation there
+    # exercises the overflow redistribution.
+    LOADS = np.array([0.1, 0.45, 0.8, 1.4, 1.5])
+
+    @pytest.mark.parametrize("name", sorted(BALANCER_FACTORIES))
+    def test_conserves_offered_load(self, name):
+        """What goes into the dispatcher comes out: per-interval node
+        levels sum to the fleet's offered load in nominal units."""
+        balancer = build_balancer(name)
+        levels = balancer.split(self.LOADS, self.CAPACITIES)
+        assert levels.shape == (len(self.LOADS), len(self.CAPACITIES))
+        np.testing.assert_allclose(
+            levels.sum(axis=1), self.LOADS * len(self.CAPACITIES), rtol=1e-9
+        )
+        assert (levels >= 0).all() and (levels <= MAX_NODE_LEVEL).all()
+
+    def test_round_robin_is_capacity_oblivious(self):
+        levels = build_balancer("round-robin").split(self.LOADS, self.CAPACITIES)
+        for row, load in zip(levels, self.LOADS):
+            np.testing.assert_allclose(row, load)
+
+    def test_least_loaded_equalizes_utilization(self):
+        loads = self.LOADS[self.LOADS <= 1.0]  # below the redistribution regime
+        levels = build_balancer("least-loaded").split(loads, self.CAPACITIES)
+        utilization = levels / self.CAPACITIES[None, :]
+        # Every node runs at the same fraction of its own capacity.
+        np.testing.assert_allclose(
+            utilization, np.broadcast_to(utilization[:, :1], utilization.shape)
+        )
+
+    def test_power_aware_consolidates_at_low_load(self):
+        levels = build_balancer("power-aware").split(
+            np.array([0.2]), self.CAPACITIES
+        )
+        # 0.2 * 4 = 0.8 nominal units fits inside one 0.85-target node.
+        busy = levels[0] > 1e-9
+        assert busy.sum() == 1
+        # ...and it is the most capable node that absorbs it.
+        assert levels[0].argmax() == self.CAPACITIES.argmax()
+
+    def test_power_aware_spills_in_capacity_order(self):
+        levels = build_balancer("power-aware").split(
+            np.array([0.5]), self.CAPACITIES
+        )
+        order = np.argsort(-self.CAPACITIES)
+        filled = levels[0][order]
+        # Monotone fill front: nobody downstream gets work while an
+        # upstream node sits below its target.
+        target = 0.85 * self.CAPACITIES[order]
+        for i in range(len(filled) - 1):
+            if filled[i + 1] > 1e-9:
+                np.testing.assert_allclose(filled[i], target[i], rtol=1e-9)
+
+    def test_power_aware_target_level_param(self):
+        balancer = build_balancer("power-aware", {"target_level": 0.5})
+        assert balancer.target_level == 0.5
+        with pytest.raises(ValueError, match="target_level"):
+            build_balancer("power-aware", {"target_level": 0.0})
+
+    def test_unknown_balancer(self):
+        with pytest.raises(KeyError, match="unknown balancer"):
+            build_balancer("random")
+
+
+class TestFleetSpec:
+    def test_frozen_picklable_fingerprinted(self):
+        spec = tiny_fleet()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        with pytest.raises(AttributeError):
+            spec.n_nodes = 5
+        assert spec.fingerprint() == tiny_fleet().fingerprint()
+
+    def test_fingerprint_tracks_fleet_fields_but_not_label(self):
+        spec = tiny_fleet()
+        assert spec.with_(n_nodes=4).fingerprint() != spec.fingerprint()
+        assert spec.with_(balancer="power-aware").fingerprint() != spec.fingerprint()
+        assert spec.with_(capacity_spread=0.2).fingerprint() != spec.fingerprint()
+        assert spec.with_(label="renamed").fingerprint() == spec.fingerprint()
+
+    def test_validates_at_construction(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            tiny_fleet(n_nodes=0)
+        with pytest.raises(KeyError, match="unknown balancer"):
+            tiny_fleet(balancer="coin-flip")
+        with pytest.raises(KeyError, match="unknown manager"):
+            tiny_fleet(manager="nonexistent")
+
+    def test_capacities_deterministic_and_spread(self):
+        spec = tiny_fleet(n_nodes=16, capacity_spread=0.1)
+        caps = spec.node_capacities()
+        np.testing.assert_array_equal(caps, spec.node_capacities())
+        assert (np.abs(caps - 1.0) <= 0.1 + 1e-9).all()
+        homogeneous = tiny_fleet(n_nodes=16, capacity_spread=0.0)
+        np.testing.assert_array_equal(
+            homogeneous.node_capacities(), np.ones(16)
+        )
+
+    def test_node_specs_are_plain_scenarios_with_distinct_seeds(self):
+        spec = tiny_fleet(n_nodes=4)
+        nodes = spec.node_specs()
+        assert len(nodes) == 4
+        assert all(isinstance(node, ScenarioSpec) for node in nodes)
+        assert nodes == spec.node_specs()  # expansion is pure
+        seeds = {node.seed for node in nodes}
+        assert len(seeds) == 4 and spec.seed not in seeds
+        fingerprints = {node.fingerprint() for node in nodes}
+        assert len(fingerprints) == 4
+
+    def test_capacity_scales_node_service_demand(self):
+        spec = tiny_fleet(n_nodes=3, capacity_spread=0.1)
+        caps = spec.node_capacities()
+        demands = [
+            dict(node.workload_params)["demand_mean_ms"]
+            for node in spec.node_specs()
+        ]
+        # Slower board (capacity < 1) -> longer per-request demand.
+        order_by_cap = np.argsort(caps)
+        assert list(np.argsort(demands)[::-1]) == list(order_by_cap)
+
+
+class TestFleetExecution:
+    def test_serial_vs_parallel_identical(self):
+        spec = tiny_fleet(n_nodes=3)
+        serial = spec.run(BatchRunner(jobs=1))
+        parallel = spec.run(BatchRunner(jobs=2))
+        assert serial.render() == parallel.render()
+        for left, right in zip(serial.nodes, parallel.nodes):
+            assert left.result.observations == right.result.observations
+
+    def test_warm_cache_replays_all_nodes(self, tmp_path):
+        spec = tiny_fleet(n_nodes=3)
+        cold = BatchRunner(cache_dir=tmp_path)
+        first = spec.run(cold)
+        assert cold.cache_misses == 3
+        warm = BatchRunner(cache_dir=tmp_path)
+        second = spec.run(warm)
+        assert warm.cache_hits == 3 and warm.cache_misses == 0
+        assert first.render() == second.render()
+
+    def test_aggregates(self):
+        outcome = run_fleet(tiny_fleet(n_nodes=3))
+        per_node = outcome.node_mean_powers_w()
+        assert outcome.total_mean_power_w() == pytest.approx(per_node.sum())
+        # Tail-of-tails dominates every node's own tail.
+        tails = outcome.fleet_tails_ms()
+        for result in outcome.node_results:
+            assert (tails >= result.tails_ms - 1e-12).all()
+        # All-nodes-met is at most the weakest node's guarantee.
+        assert outcome.fleet_qos_guarantee() <= (
+            outcome.node_qos_guarantees().min() + 1e-12
+        )
+        assert outcome.utilization_skew() >= 0.0
+        # Same convention as single-node qos_tardiness: 0 when nothing
+        # violates, else the mean overshoot (necessarily > 1).
+        tardiness = outcome.fleet_qos_tardiness()
+        assert tardiness == 0.0 or tardiness > 1.0
+
+    def test_render_mentions_fleet_shape(self):
+        outcome = run_fleet(tiny_fleet(n_nodes=2))
+        report = outcome.render()
+        assert "2 nodes" in report
+        assert "tail-of-tails" in report
+        assert "node01" in report
+
+
+class TestFleetFamilies:
+    def test_families_registered(self):
+        for family in ("fleet-diurnal", "fleet-ramp", "fleet-collocation"):
+            assert family in DEFAULT_REGISTRY
+
+    def test_fleet_diurnal_builds(self):
+        spec = DEFAULT_REGISTRY.build(
+            "fleet-diurnal",
+            workload="memcached",
+            n_nodes=4,
+            balancer="least-loaded",
+            quick=True,
+        )
+        assert isinstance(spec, FleetSpec)
+        assert spec.n_nodes == 4
+        assert dict(spec.manager_params)["learning_duration_s"] > 0
+
+    def test_fleet_collocation_sets_batch_jobs(self):
+        spec = DEFAULT_REGISTRY.build(
+            "fleet-collocation", program="lbm", n_nodes=2, quick=True
+        )
+        assert spec.batch_jobs == "spec:lbm"
+        for node in spec.node_specs():
+            assert node.batch_jobs == "spec:lbm"
+
+    def test_fleet_ramp_concat_trace(self):
+        spec = DEFAULT_REGISTRY.build("fleet-ramp", n_nodes=2, warmup_s=60.0)
+        assert spec.trace.kind == "concat"

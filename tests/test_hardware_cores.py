@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.hardware.cores import Cluster, CoreKind, CoreType
-from repro.hardware.juno import cortex_a53, cortex_a57, juno_r1
+from repro.hardware.juno import cortex_a53, cortex_a57
 from repro.hardware.microbench import characterize_platform
 
 

@@ -3,7 +3,6 @@ perf counters (with the Juno idle bug) and affinity manager."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.hardware.affinity import AffinityManager, Role

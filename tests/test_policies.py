@@ -9,7 +9,7 @@ from repro.hardware.topology import Configuration
 from repro.loadgen.traces import ConstantTrace, StepTrace
 from repro.policies.base import Decision, ManagerContext, resolve_decision
 from repro.policies.octopusman import OctopusMan, default_qos_safe
-from repro.policies.static import StaticPolicy, static_all_big, static_all_small
+from repro.policies.static import static_all_big, static_all_small
 from repro.policies.table_driven import TableDrivenPolicy
 from repro.sim.engine import run_experiment
 from repro.workloads.memcached import memcached
