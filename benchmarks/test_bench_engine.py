@@ -1,0 +1,103 @@
+"""Engine micro-benchmark: dense interval loop vs the reference engine.
+
+PR 1 vectorized the queue kernel; this PR removed the per-interval Python
+tax around it (string-dict plumbing, per-interval recomputation of
+decision invariants, ``rng.choice`` overhead, ``np.quantile`` dispatch).
+The benchmark measures end-to-end ``run_experiment`` throughput at the
+production-scale operating points (Memcached time-dilated replica, 1k and
+10k real arrivals per interval, with and without collocation) against the
+preserved pre-optimization engine, exactly the way
+``hipster-repro bench`` does.
+
+Guard design: absolute intervals/sec vary ~2x across machines, so CI
+asserts the *speedup ratio* (paired runs, median of per-pair ratios --
+drift-immune and machine-comparable):
+
+* a hard floor of 2x everywhere (the refactor can never quietly erode);
+* the soft regression guard of the committed trajectory: measured
+  speedup must not drop more than 25% below the number recorded in
+  ``BENCH_engine.json``.
+
+The trajectory numbers themselves (3-3.6x on the recording machine; see
+``BENCH_engine.json``) are refreshed with ``hipster-repro bench``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.bench import (
+    BENCH_POINTS,
+    BENCH_REPORT_NAME,
+    load_report,
+    measure_point,
+    point_key,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Hard machine-independent floor on the speedup ratio.
+MIN_SPEEDUP = 2.0
+
+#: Soft guard: fraction of the committed speedup that must be retained.
+REGRESSION_TOLERANCE = 0.75
+
+
+@pytest.fixture(scope="module")
+def committed_report():
+    return load_report(REPO_ROOT / BENCH_REPORT_NAME)
+
+
+@pytest.mark.parametrize(
+    "arrivals,collocate",
+    BENCH_POINTS,
+    ids=[point_key(a, c) for a, c in BENCH_POINTS],
+)
+def test_engine_speedup(arrivals, collocate, committed_report):
+    result = measure_point(arrivals, collocate, n_intervals=200, pairs=5)
+    key = point_key(arrivals, collocate)
+    print(
+        f"\n{key}: {result.reference_ips:.0f} -> {result.optimized_ips:.0f} "
+        f"intervals/s ({result.speedup:.2f}x)"
+    )
+    assert result.speedup >= MIN_SPEEDUP, (
+        f"{key}: dense engine only {result.speedup:.2f}x over the reference"
+    )
+    if committed_report is not None:
+        committed = committed_report["points"][key]["speedup"]
+        floor = committed * REGRESSION_TOLERANCE
+        assert result.speedup >= floor, (
+            f"{key}: speedup {result.speedup:.2f}x dropped >25% below the "
+            f"committed baseline {committed:.2f}x (floor {floor:.2f}x) -- "
+            f"engine hot-path regression"
+        )
+
+
+@pytest.mark.benchmark(group="interval-engine")
+def test_engine_interval_throughput(benchmark):
+    """Absolute intervals/sec of the optimized engine, tracked by
+    pytest-benchmark (10k arrivals, collocated -- the heaviest point)."""
+    from repro.hardware.juno import juno_r1
+    from repro.loadgen.traces import ConstantTrace
+    from repro.policies.static import static_all_big
+    from repro.sim.engine import run_experiment
+    from repro.workloads.memcached import memcached
+    from repro.workloads.spec import spec_job_set
+
+    workload = memcached()
+    platform = juno_r1()
+
+    def run():
+        return run_experiment(
+            platform,
+            workload,
+            ConstantTrace(10_000 / workload.max_load_rps, 200),
+            static_all_big(platform, collocate_batch=True),
+            batch_jobs=spec_job_set("calculix"),
+            seed=3,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == 200

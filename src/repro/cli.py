@@ -8,6 +8,7 @@ Usage::
     hipster-repro calibrate
     hipster-repro all --quick --jobs 4 --cache-dir .hipster-cache
     hipster-repro fleet --quick --nodes 64 --balancer power-aware --jobs 4
+    hipster-repro bench --output BENCH_engine.json
 
 ``--quick`` compresses run lengths (CI-friendly); without it the runs
 match the paper's durations.  ``--jobs N`` fans each experiment's
@@ -15,7 +16,9 @@ scenario batch out over N worker processes, and ``--cache-dir`` reuses
 previously computed results keyed by scenario fingerprint, so repeated
 ``all`` invocations only re-run what changed.  ``fleet`` simulates a
 multi-node cluster (see :mod:`repro.fleet`); its node runs fan out over
-the same pool and cache.
+the same pool and cache.  ``bench`` runs the interval-engine
+micro-benchmark (see :mod:`repro.sim.bench`) and writes the performance
+trajectory to ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -52,8 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["calibrate", "all", "fleet"],
-        help="which artifact to regenerate ('fleet' simulates a cluster)",
+        choices=sorted(EXPERIMENTS) + ["bench", "calibrate", "all", "fleet"],
+        help=(
+            "which artifact to regenerate ('fleet' simulates a cluster, "
+            "'bench' records the engine performance trajectory)"
+        ),
     )
     parser.add_argument(
         "--workload",
@@ -82,7 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="compressed run lengths (CI-friendly)"
     )
     parser.add_argument(
-        "--seed", type=int, default=DEFAULT_SEED, help="experiment seed"
+        "--seed",
+        type=int,
+        default=None,
+        help=f"experiment seed (default {DEFAULT_SEED})",
     )
     parser.add_argument(
         "--jobs",
@@ -96,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="cache scenario results on disk; re-runs only what changed",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output file for 'bench' (default: BENCH_engine.json)",
     )
     return parser
 
@@ -154,6 +169,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 f"--cache-dir {args.cache_dir!r} exists and is not a directory"
             )
+    if args.output is not None and args.experiment != "bench":
+        parser.error(
+            f"--output only applies to 'bench'; '{args.experiment}' ignores it"
+        )
+    if args.experiment == "bench":
+        # The benchmark protocol is fixed (seed, run lengths, serial
+        # execution) so its numbers stay comparable; reject knobs it
+        # would silently ignore.
+        if args.quick:
+            parser.error("--quick does not apply to 'bench'")
+        if args.seed is not None:
+            parser.error("--seed does not apply to 'bench' (fixed protocol)")
+        if args.jobs != 1:
+            parser.error("--jobs does not apply to 'bench' (runs serially)")
+        if args.cache_dir is not None:
+            parser.error("--cache-dir does not apply to 'bench'")
+    if args.seed is None:
+        args.seed = DEFAULT_SEED
     workload_aware = (
         args.experiment in _WORKLOAD_EXPERIMENTS or args.experiment == "all"
     )
@@ -171,6 +204,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
     elif args.nodes is not None and args.nodes < 1:
         parser.error("--nodes must be >= 1")
+
+    if args.experiment == "bench":
+        from repro.sim.bench import render_report, write_report
+
+        output = args.output or "BENCH_engine.json"
+        report = write_report(output)
+        print(render_report(report))
+        print(f"\nwrote {output}")
+        return 0
 
     runner = BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     if args.experiment == "fleet":

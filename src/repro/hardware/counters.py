@@ -42,6 +42,11 @@ class PerfCounters:
     kernel: KernelConfig = KernelConfig()
     juno_perf_bug: bool = True
 
+    @property
+    def bug_armed(self) -> bool:
+        """Whether the erratum can fire at all under this kernel config."""
+        return self.juno_perf_bug and self.kernel.cpuidle_enabled
+
     def read(
         self, true_ips: Mapping[str, float], rng: np.random.Generator
     ) -> dict[str, float]:
@@ -50,21 +55,39 @@ class PerfCounters:
         ``true_ips`` is the ground-truth instruction throughput per core
         for the sampling interval (absent cores are idle).  If the bug
         fires, every counter in the sample is garbage.
+
+        Thin adapter over :meth:`read_array` for callers holding
+        string-keyed state; the engine reads through the array path.
         """
         unknown = set(true_ips) - set(self.platform.core_ids)
         if unknown:
             raise ValueError(f"unknown core ids: {sorted(unknown)}")
-        sample = {
-            core_id: float(true_ips.get(core_id, 0.0))
-            for core_id in self.platform.core_ids
-        }
-        if self._bug_fires(sample):
-            return {
-                core_id: float(rng.uniform(0.0, 1e13)) for core_id in sample
-            }
-        return sample
+        truth = np.array(
+            [float(true_ips.get(cid, 0.0)) for cid in self.platform.core_ids]
+        )
+        sample, _ = self.read_array(truth, rng)
+        return {cid: float(sample[i]) for i, cid in enumerate(self.platform.core_ids)}
 
-    def _bug_fires(self, sample: Mapping[str, float]) -> bool:
-        if not (self.juno_perf_bug and self.kernel.cpuidle_enabled):
+    def read_array(
+        self, true_ips: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, bool]:
+        """Array-native counter read over the platform's dense core index.
+
+        ``true_ips[i]`` is the ground-truth IPS of core
+        ``platform.core_ids[i]``.  Returns the sampled per-core IPS and
+        whether the sample is garbage.  The garbage draw is one vectorized
+        ``uniform`` over the cores in index order -- the identical rng
+        stream the per-core scalar draws of the dict path consumed.
+        """
+        if not self._bug_fires(true_ips):
+            return true_ips, False
+        drawn = rng.uniform(0.0, 1e13, size=len(true_ips))
+        # A garbage sample that exactly reproduces the truth would be
+        # indistinguishable from a clean read (measure-zero, but keeps
+        # the flag consistent with comparing the two samples).
+        return drawn, not np.array_equal(drawn, true_ips)
+
+    def _bug_fires(self, true_ips: np.ndarray) -> bool:
+        if not self.bug_armed:
             return False
-        return any(ips <= _IDLE_UTIL_THRESHOLD for ips in sample.values())
+        return bool((np.asarray(true_ips) <= _IDLE_UTIL_THRESHOLD).any())

@@ -13,8 +13,43 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.hardware.cores import CoreKind
+import numpy as np
+
+from repro.hardware.cores import Cluster, CoreKind
 from repro.hardware.soc import KernelConfig, Platform
+
+
+@dataclass(frozen=True)
+class ClusterPowerCoefficients:
+    """Per-operating-point constants of one cluster's power law.
+
+    ``power = static_w + sum_over_active_cores(dynamic_w * activity)``
+    with ``activity = idle_fraction + (1 - idle_fraction) * utilization``.
+    Hoisting these out of the interval loop removes the per-core
+    frequency validation and voltage lookups from the hot path while
+    keeping the arithmetic identical to
+    :meth:`repro.hardware.cores.CoreType.dynamic_power_w`.
+    """
+
+    static_w: float
+    dynamic_w: float
+    idle_fraction: float
+
+    def cluster_power_w(
+        self, utilizations: np.ndarray, *, power_gate_idle: bool
+    ) -> float:
+        """Cluster power for per-core utilizations (dense, cluster order)."""
+        total = self.static_w
+        idle = self.idle_fraction
+        busy = 1.0 - idle
+        for util in utilizations:
+            util = float(util)
+            if not 0.0 <= util <= 1.0:
+                raise ValueError(f"utilization must be within [0, 1], got {util}")
+            if util == 0.0 and power_gate_idle:
+                continue
+            total += self.dynamic_w * (idle + busy * util)
+        return total
 
 
 @dataclass(frozen=True)
@@ -37,6 +72,29 @@ class PowerModel:
 
     platform: Platform
     kernel: KernelConfig = KernelConfig()
+    #: Per-(cluster, frequency) coefficient memo; operating points are a
+    #: small discrete set, so this stays tiny over a run.
+    _coeffs: dict[tuple[str, float], ClusterPowerCoefficients] = field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
+
+    def cluster_coefficients(
+        self, cluster: Cluster, freq_ghz: float
+    ) -> ClusterPowerCoefficients:
+        """The cluster's power-law constants at one operating point."""
+        key = (cluster.name, freq_ghz)
+        coeffs = self._coeffs.get(key)
+        if coeffs is None:
+            core = cluster.core_type
+            v = core.voltage(freq_ghz)
+            scale = (freq_ghz / core.max_freq_ghz) * v * v
+            coeffs = ClusterPowerCoefficients(
+                static_w=cluster.static_power(freq_ghz),
+                dynamic_w=core.core_dynamic_w * scale,
+                idle_fraction=core.idle_fraction,
+            )
+            self._coeffs[key] = coeffs
+        return coeffs
 
     def breakdown(
         self,
@@ -53,27 +111,40 @@ class PowerModel:
         utilizations:
             Core id to utilization in ``[0, 1]``; absent cores are idle.
             Idle cores are power-gated only when CPUidle is enabled.
+
+        Thin adapter over :meth:`breakdown_array` for callers holding
+        string-keyed state; the engine reads through the array path.
         """
         platform = self.platform
-        gate = self.kernel.cpuidle_enabled
-        big_utils = {
-            cid: utilizations[cid]
-            for cid in platform.big.core_ids
-            if cid in utilizations
-        }
-        small_utils = {
-            cid: utilizations[cid]
-            for cid in platform.small.core_ids
-            if cid in utilizations
-        }
         unknown = set(utilizations) - set(platform.core_ids)
         if unknown:
             raise ValueError(f"unknown core ids: {sorted(unknown)}")
+        dense = np.array(
+            [float(utilizations.get(cid, 0.0)) for cid in platform.core_ids]
+        )
+        return self.breakdown_array(big_freq_ghz, small_freq_ghz, dense)
+
+    def breakdown_array(
+        self,
+        big_freq_ghz: float,
+        small_freq_ghz: float,
+        utilizations: np.ndarray,
+    ) -> PowerBreakdown:
+        """Array-native :meth:`breakdown` over the dense core index.
+
+        ``utilizations[i]`` belongs to core ``platform.core_ids[i]`` (big
+        cluster first).  Cached per-operating-point coefficients replace
+        the per-core voltage/validation work of the dict path; the
+        floating-point arithmetic is unchanged.
+        """
+        platform = self.platform
+        gate = self.kernel.cpuidle_enabled
+        n_big = platform.big.n_cores
+        big = self.cluster_coefficients(platform.big, big_freq_ghz)
+        small = self.cluster_coefficients(platform.small, small_freq_ghz)
         return PowerBreakdown(
-            big_w=platform.big.power_w(big_freq_ghz, big_utils, power_gate_idle=gate),
-            small_w=platform.small.power_w(
-                small_freq_ghz, small_utils, power_gate_idle=gate
-            ),
+            big_w=big.cluster_power_w(utilizations[:n_big], power_gate_idle=gate),
+            small_w=small.cluster_power_w(utilizations[n_big:], power_gate_idle=gate),
             rest_w=platform.rest_of_system_w,
         )
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hardware.cores import Cluster, CoreKind
 
 
@@ -48,6 +50,13 @@ class Platform:
     small: Cluster
     rest_of_system_w: float
     core_ids: tuple[str, ...] = field(init=False)
+    #: Stable core id -> dense index mapping (big cluster first, matching
+    #: ``core_ids``); the interval engine's array representation is keyed
+    #: by these indices, established once per platform.
+    core_index: dict[str, int] = field(init=False, compare=False, repr=False)
+    #: Dense indices of each cluster's cores (``core_ids`` order).
+    big_core_index: np.ndarray = field(init=False, compare=False, repr=False)
+    small_core_index: np.ndarray = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.big.kind is not CoreKind.BIG:
@@ -60,6 +69,14 @@ class Platform:
         if overlap:
             raise ValueError(f"core id collision between clusters: {sorted(overlap)}")
         object.__setattr__(self, "core_ids", self.big.core_ids + self.small.core_ids)
+        object.__setattr__(
+            self, "core_index", {cid: i for i, cid in enumerate(self.core_ids)}
+        )
+        n_big = self.big.n_cores
+        object.__setattr__(self, "big_core_index", np.arange(n_big))
+        object.__setattr__(
+            self, "small_core_index", np.arange(n_big, n_big + self.small.n_cores)
+        )
 
     @property
     def clusters(self) -> tuple[Cluster, Cluster]:

@@ -28,12 +28,21 @@ class StaticPolicy(TaskManager):
         super().__init__()
         self._config = config
         self._collocate = collocate_batch
+        self._decision: Decision | None = None
         self.name = name or f"static-{config.label}"
 
+    def start(self, ctx) -> None:
+        super().start(ctx)
+        self._decision = None  # re-resolve against the new run's platform
+
     def decide(self) -> Decision:
-        return resolve_decision(
-            self.ctx.platform, self._config, collocate_batch=self._collocate
-        )
+        # The decision never changes; returning the same object lets the
+        # engine's repeat-decision fast path skip even the equality check.
+        if self._decision is None:
+            self._decision = resolve_decision(
+                self.ctx.platform, self._config, collocate_batch=self._collocate
+            )
+        return self._decision
 
 
 def static_all_big(

@@ -1,0 +1,213 @@
+"""Engine micro-benchmark: optimized vs reference intervals/sec.
+
+This module is the single source of truth for the engine performance
+trajectory.  It drives the same scenario through the optimized engine
+(:mod:`repro.sim.engine`) and the preserved pre-optimization one
+(:mod:`repro.sim.engine_reference`) and reports intervals/sec for both,
+plus their ratio.
+
+Measurement protocol
+--------------------
+Runs are *paired* (one reference run immediately followed by one
+optimized run) and the headline speedup is the **median of per-pair
+ratios**: CPU frequency drift and noisy neighbours hit both sides of a
+pair roughly equally, so the ratio is far more stable -- and far more
+machine-independent -- than either absolute number.  Absolute
+intervals/sec are reported too (best over pairs) but only the ratio is
+guarded in CI.
+
+The benchmark points are the production-scale operating points from the
+ISSUE: Memcached at its paper calibration (time-dilated replica,
+``sim_scale=25``) offered 1k and 10k real arrivals per monitoring
+interval, with and without a collocated SPEC batch job -- the regime
+where fleet sweeps spend their time and where the interval loop, not the
+queue kernel, used to dominate.
+
+Used by ``benchmarks/test_bench_engine.py`` (assertions + CI guard),
+``hipster-repro bench`` and ``tools/bench_report.py`` (both write
+``BENCH_engine.json`` at the repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_module
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.queueing import KERNEL_VERSION
+
+#: The benchmark grid: (real arrivals per interval, collocation).
+BENCH_POINTS: tuple[tuple[int, bool], ...] = (
+    (1_000, False),
+    (1_000, True),
+    (10_000, False),
+    (10_000, True),
+)
+
+#: Default measurement effort (per benchmark point).
+DEFAULT_INTERVALS = 300
+DEFAULT_PAIRS = 5
+
+#: Where the committed trajectory lives, relative to the repo root.
+BENCH_REPORT_NAME = "BENCH_engine.json"
+
+
+def point_key(arrivals: int, collocate: bool) -> str:
+    """Stable JSON key for one benchmark point."""
+    return f"arrivals={arrivals}/collocation={'on' if collocate else 'off'}"
+
+
+@dataclass(frozen=True)
+class BenchPointResult:
+    """Measured numbers for one benchmark point."""
+
+    arrivals: int
+    collocate: bool
+    reference_ips: float
+    optimized_ips: float
+    speedup: float
+
+    def as_json(self) -> dict:
+        return {
+            "reference_intervals_per_sec": round(self.reference_ips, 1),
+            "optimized_intervals_per_sec": round(self.optimized_ips, 1),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def _one_run(
+    runner: Callable, arrivals: int, collocate: bool, n_intervals: int
+) -> float:
+    """One timed engine run; returns intervals/sec."""
+    from repro.hardware.juno import juno_r1
+    from repro.loadgen.traces import ConstantTrace
+    from repro.policies.static import static_all_big
+    from repro.workloads.memcached import memcached
+    from repro.workloads.spec import spec_job_set
+
+    workload = memcached()
+    load = arrivals / workload.max_load_rps
+    platform = juno_r1()
+    manager = static_all_big(platform, collocate_batch=collocate)
+    batch = spec_job_set("calculix") if collocate else None
+    t0 = time.perf_counter()
+    runner(
+        platform,
+        workload,
+        ConstantTrace(load, n_intervals),
+        manager,
+        batch_jobs=batch,
+        seed=3,
+    )
+    return n_intervals / (time.perf_counter() - t0)
+
+
+def measure_point(
+    arrivals: int,
+    collocate: bool,
+    *,
+    n_intervals: int = DEFAULT_INTERVALS,
+    pairs: int = DEFAULT_PAIRS,
+) -> BenchPointResult:
+    """Paired reference/optimized measurement of one benchmark point."""
+    from repro.sim.engine import run_experiment
+    from repro.sim.engine_reference import run_reference_experiment
+
+    ratios: list[float] = []
+    best_ref = 0.0
+    best_opt = 0.0
+    for _ in range(pairs):
+        ref = _one_run(run_reference_experiment, arrivals, collocate, n_intervals)
+        opt = _one_run(run_experiment, arrivals, collocate, n_intervals)
+        ratios.append(opt / ref)
+        best_ref = max(best_ref, ref)
+        best_opt = max(best_opt, opt)
+    return BenchPointResult(
+        arrivals=arrivals,
+        collocate=collocate,
+        reference_ips=best_ref,
+        optimized_ips=best_opt,
+        speedup=statistics.median(ratios),
+    )
+
+
+def measure_all(
+    *, n_intervals: int = DEFAULT_INTERVALS, pairs: int = DEFAULT_PAIRS
+) -> dict[str, BenchPointResult]:
+    """Measure every benchmark point; keys from :func:`point_key`."""
+    return {
+        point_key(arrivals, collocate): measure_point(
+            arrivals, collocate, n_intervals=n_intervals, pairs=pairs
+        )
+        for arrivals, collocate in BENCH_POINTS
+    }
+
+
+def build_report(
+    results: dict[str, BenchPointResult],
+) -> dict:
+    """The ``BENCH_engine.json`` payload for a set of measurements."""
+    return {
+        "schema": 1,
+        "kernel_version": KERNEL_VERSION,
+        "benchmark": (
+            "interval-engine microbenchmark: memcached (sim_scale=25), "
+            "static-big manager, constant load of N real arrivals per "
+            "1 s interval; reference = pre-optimization engine "
+            "(repro.sim.engine_reference)"
+        ),
+        "protocol": (
+            f"paired runs ({DEFAULT_PAIRS} pairs x {DEFAULT_INTERVALS} "
+            "intervals), speedup = median of per-pair ratios, "
+            "intervals/sec = best over pairs"
+        ),
+        "environment": {
+            "python": platform_module.python_version(),
+            "numpy": np.__version__,
+        },
+        "points": {key: results[key].as_json() for key in sorted(results)},
+    }
+
+
+def write_report(
+    path: str | Path,
+    *,
+    n_intervals: int = DEFAULT_INTERVALS,
+    pairs: int = DEFAULT_PAIRS,
+) -> dict:
+    """Measure everything and write the JSON report; returns the payload."""
+    results = measure_all(n_intervals=n_intervals, pairs=pairs)
+    report = build_report(results)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def load_report(path: str | Path) -> dict | None:
+    """The committed report, or ``None`` when absent/unreadable."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a report payload."""
+    env = report["environment"]
+    header = (
+        f"Engine benchmark ({report['kernel_version']}, "
+        f"python {env['python']}, numpy {env['numpy']}):"
+    )
+    lines = [header]
+    for key, point in sorted(report["points"].items()):
+        lines.append(
+            f"  {key}: {point['reference_intervals_per_sec']:.0f} -> "
+            f"{point['optimized_intervals_per_sec']:.0f} intervals/s "
+            f"({point['speedup']:.2f}x)"
+        )
+    return "\n".join(lines)

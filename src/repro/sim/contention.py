@@ -45,6 +45,22 @@ def aggregate_pressure(
     return ClusterPressure(big=big, small=small)
 
 
+def aggregate_pressure_indexed(
+    mem_intensities: Sequence[float],
+    on_big_cluster: Sequence[bool],
+) -> ClusterPressure:
+    """:func:`aggregate_pressure` over the dense core-index representation.
+
+    ``mem_intensities[i]`` and ``on_big_cluster[i]`` describe the i-th
+    batch-occupied core (in placement order).  Summation order matches the
+    dict-based path, so both produce identical floats for the same
+    placement.
+    """
+    big = sum(v for v, is_big in zip(mem_intensities, on_big_cluster) if is_big)
+    small = sum(v for v, is_big in zip(mem_intensities, on_big_cluster) if not is_big)
+    return ClusterPressure(big=big, small=small)
+
+
 @dataclass(frozen=True)
 class ContentionModel:
     """First-order interference model.

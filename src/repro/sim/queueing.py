@@ -43,7 +43,18 @@ DemandSampler = Callable[[np.random.Generator, int], np.ndarray]
 
 #: Version tag of the queue kernel, folded into scenario fingerprints so
 #: cached results are invalidated whenever the hot-path semantics change.
+#: The dense/core-indexed engine refactor did NOT bump it: the rng stream
+#: and every emitted float are bit-identical to the previous kernel (the
+#: equivalence suite against ``repro.sim.engine_reference`` enforces it).
 KERNEL_VERSION = "lindley-v1"
+
+#: Below this many servers the per-server bookkeeping (utilizations,
+#: carried backlog, shedding) runs in scalar Python instead of numpy:
+#: numpy's pairwise summation degenerates to sequential summation under
+#: eight elements, so both paths produce bit-identical floats while the
+#: scalar one skips ~1 microsecond of dispatch overhead per tiny array
+#: op -- the dominant cost at realistic per-interval arrival counts.
+_SCALAR_SERVER_LIMIT = 8
 
 
 def lindley_completion_times(
@@ -64,10 +75,13 @@ def lindley_completion_times(
     Equivalent to :func:`lindley_completion_times_reference` up to
     floating-point associativity (different summation order).
     """
-    cum = np.cumsum(service)
-    shifted_cumsum = cum - service
-    slack = np.maximum.accumulate(arrivals - shifted_cumsum)
-    return cum + np.maximum(slack, free0)
+    cum = service.cumsum()
+    buf = cum - service  # shifted cumsum
+    np.subtract(arrivals, buf, out=buf)  # arrival slack before running max
+    np.maximum.accumulate(buf, out=buf)
+    np.maximum(buf, free0, out=buf)
+    np.add(cum, buf, out=buf)
+    return buf
 
 
 def lindley_completion_times_reference(
@@ -100,8 +114,13 @@ class IntervalQueueStats:
     @property
     def mean_utilization(self) -> float:
         """Mean utilization over the interval's servers (0 when empty)."""
-        if not self.utilizations:
+        n = len(self.utilizations)
+        if n == 0:
             return 0.0
+        if n < _SCALAR_SERVER_LIMIT:
+            # np.mean's pairwise reduction is plain sequential summation
+            # below eight elements, so this is the identical float.
+            return sum(self.utilizations) / n
         return float(np.mean(self.utilizations))
 
 
@@ -143,6 +162,7 @@ class DispatchQueue:
     _speeds: np.ndarray = field(init=False, default_factory=lambda: np.zeros(0))
     _free: np.ndarray = field(init=False, default_factory=lambda: np.zeros(0))
     _weights: np.ndarray = field(init=False, default_factory=lambda: np.zeros(0))
+    _cdf: np.ndarray = field(init=False, default_factory=lambda: np.zeros(0))
 
     @property
     def n_servers(self) -> int:
@@ -151,8 +171,15 @@ class DispatchQueue:
 
     def backlog_s(self, now: float) -> float:
         """Total queued work across servers, expressed in seconds of delay."""
-        if self.n_servers == 0:
+        k = self.n_servers
+        if k == 0:
             return 0.0
+        if k < _SCALAR_SERVER_LIMIT:
+            total = 0.0
+            for f in self._free.tolist():
+                if f > now:
+                    total += f - now
+            return total
         return float(np.sum(np.maximum(self._free - now, 0.0)))
 
     def reconfigure(
@@ -201,6 +228,54 @@ class DispatchQueue:
     def _set_weights(self, speeds: np.ndarray) -> None:
         weights = speeds**self.balance_exponent
         self._weights = weights / weights.sum()
+        # The dispatch CDF, built exactly the way ``Generator.choice``
+        # builds it internally (cumsum then renormalize), so the manual
+        # inverse-CDF dispatch below reproduces ``rng.choice`` bit for bit.
+        cdf = np.cumsum(self._weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+
+    def _dispatch(self, n: int) -> np.ndarray:
+        """Server index per request: ``rng.choice`` without its overhead.
+
+        ``Generator.choice(k, size=n, p=w)`` draws ``random(n)`` and
+        counts, per draw, how many CDF entries it clears.  Doing that
+        count with one vectorized comparison per server (there are at
+        most a handful) skips ``choice``'s per-call validation and its
+        binary search, consumes the identical rng stream, and returns
+        the identical assignment -- the equivalence is pinned by a test.
+        """
+        u = self.rng.random(n)
+        cdf = self._cdf
+        last = len(cdf) - 1  # cdf[-1] == 1.0 > u always, never counted
+        if last == 0:
+            return np.zeros(n, dtype=np.intp)
+        if last > 8:
+            return cdf.searchsorted(u, side="right")
+        assigned = (u >= cdf[0]).astype(np.intp)
+        for j in range(1, last):
+            assigned += u >= cdf[j]
+        return assigned
+
+    def _group(self, n: int) -> list[np.ndarray] | None:
+        """Per-server request index arrays for ``n`` fresh arrivals.
+
+        Same draw and assignment as :meth:`_dispatch`, but returning the
+        grouping directly; ``None`` means a single server takes all (the
+        draw is still consumed, keeping the stream aligned).  Two servers
+        -- the platform's big-cores-only configurations, the most common
+        case in practice -- group from one comparison mask without ever
+        materializing the assignment array.
+        """
+        k = self.n_servers
+        if k == 1:
+            self.rng.random(n)
+            return None
+        if k == 2:
+            mask = self.rng.random(n) >= self._cdf[0]
+            return [(~mask).nonzero()[0], mask.nonzero()[0]]
+        assigned = self._dispatch(n)
+        return [(assigned == j).nonzero()[0] for j in range(k)]
 
     def run_interval(
         self,
@@ -223,45 +298,86 @@ class DispatchQueue:
             raise ValueError("arrival_rate must be non-negative")
 
         dt = t1 - t0
+        n_servers = self.n_servers
+        scalar = n_servers < _SCALAR_SERVER_LIMIT
         n, burst_times = self._draw_arrivals(arrival_rate, t0, t1)
-        carried_busy = np.maximum(np.minimum(self._free, t1) - t0, 0.0)
+        if scalar:
+            free_list = self._free.tolist()
+            carried_busy = [max(min(f, t1) - t0, 0.0) for f in free_list]
+        else:
+            carried_busy = np.maximum(np.minimum(self._free, t1) - t0, 0.0)
         if n == 0:
-            utils = np.minimum(carried_busy / dt, 1.0)
+            if scalar:
+                utils = tuple(min(c / dt, 1.0) for c in carried_busy)
+            else:
+                utils = tuple(float(u) for u in np.minimum(carried_busy / dt, 1.0))
             shed = self._shed(t1)
             return IntervalQueueStats(
                 latencies_s=np.empty(0),
                 arrival_times_s=np.empty(0),
                 arrivals=0,
-                utilizations=tuple(float(u) for u in utils),
+                utilizations=utils,
                 shed_work_s=shed,
             )
 
         arrivals = burst_times
         demands = demand_sampler(self.rng, n)
-        assigned = self.rng.choice(self.n_servers, size=n, p=self._weights)
+        groups = self._group(n)
 
-        latencies = np.empty(n)
-        service_time_per_server = np.zeros(self.n_servers)
+        service_sums = [0.0] * n_servers
         free = self._free
         speeds = self._speeds
-        for k in range(self.n_servers):
-            (idx,) = np.nonzero(assigned == k)
-            if len(idx) == 0:
-                continue
-            service = demands[idx] / speeds[k]
-            service_time_per_server[k] = float(np.sum(service))
-            arr_k = arrivals[idx]
-            completion = lindley_completion_times(arr_k, service, free[k])
-            latencies[idx] = completion - arr_k
-            free[k] = completion[-1]
+        # The per-server block below is lindley_completion_times inlined
+        # (same six array ops), so the kernel pays no call overhead at
+        # interval rates of ~10k/s.
+        maximum = np.maximum
+        if groups is None:
+            # Single server: no grouping work at all (the dispatch draw
+            # still happened, keeping the stream aligned).
+            service = demands / speeds[0]
+            service_sums[0] = float(np.add.reduce(service))
+            cum = service.cumsum()
+            buf = cum - service
+            np.subtract(arrivals, buf, out=buf)
+            maximum.accumulate(buf, out=buf)
+            maximum(buf, free[0], out=buf)
+            np.add(cum, buf, out=buf)
+            free[0] = buf[-1]
+            latencies = np.subtract(buf, arrivals, out=buf)
+        else:
+            latencies = np.empty(n)
+            for k in range(n_servers):
+                idx = groups[k]
+                if len(idx) == 0:
+                    continue
+                service = demands[idx] / speeds[k]
+                service_sums[k] = float(np.add.reduce(service))
+                arr_k = arrivals[idx]
+                cum = service.cumsum()
+                buf = cum - service
+                np.subtract(arr_k, buf, out=buf)
+                maximum.accumulate(buf, out=buf)
+                maximum(buf, free[k], out=buf)
+                np.add(cum, buf, out=buf)
+                free[k] = buf[-1]
+                np.subtract(buf, arr_k, out=buf)
+                latencies[idx] = buf
 
-        utils = np.minimum((carried_busy + service_time_per_server) / dt, 1.0)
+        if scalar:
+            utils = tuple(
+                [min((c + s) / dt, 1.0) for c, s in zip(carried_busy, service_sums)]
+            )
+        else:
+            utils = tuple(
+                float(u)
+                for u in np.minimum((carried_busy + np.asarray(service_sums)) / dt, 1.0)
+            )
         shed = self._shed(t1)
         return IntervalQueueStats(
             latencies_s=latencies,
             arrival_times_s=arrivals,
             arrivals=n,
-            utilizations=tuple(float(u) for u in utils),
+            utilizations=utils,
             shed_work_s=shed,
         )
 
@@ -272,13 +388,16 @@ class DispatchQueue:
         dt = t1 - t0
         if self.burstiness <= 1.0:
             n = int(self.rng.poisson(arrival_rate * dt))
-            return n, np.sort(self.rng.uniform(t0, t1, size=n))
+            times = self.rng.uniform(t0, t1, size=n)
+            times.sort()
+            return n, times
         mean_batch = self.burstiness
         n_bursts = int(self.rng.poisson(arrival_rate * dt / mean_batch))
         if n_bursts == 0:
             return 0, np.empty(0)
         sizes = self.rng.geometric(1.0 / mean_batch, size=n_bursts)
-        epochs = np.sort(self.rng.uniform(t0, t1, size=n_bursts))
+        epochs = self.rng.uniform(t0, t1, size=n_bursts)
+        epochs.sort()
         times = np.repeat(epochs, sizes)
         return int(times.size), times
 
@@ -287,7 +406,18 @@ class DispatchQueue:
         if self.max_backlog_s is None:
             return 0.0
         bound = now + self.max_backlog_s
-        excess = np.maximum(self._free - bound, 0.0)
+        free = self._free
+        if len(free) < _SCALAR_SERVER_LIMIT:
+            shed = 0.0
+            clamp = False
+            for f in free.tolist():
+                if f > bound:
+                    shed += f - bound
+                    clamp = True
+            if clamp:
+                np.minimum(free, bound, out=free)
+            return shed
+        excess = np.maximum(free - bound, 0.0)
         if np.any(excess > 0):
-            np.minimum(self._free, bound, out=self._free)
+            np.minimum(free, bound, out=free)
         return float(np.sum(excess))

@@ -20,7 +20,7 @@ G/G/k property).  Reported latencies are scaled back and the network/stack
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -86,6 +86,10 @@ class LatencyCriticalWorkload:
     n_threads: int = 4
     lc_ipc_fraction: float = 0.75
     burstiness: float = 1.0
+    #: Memoized log-normal location parameter (see :meth:`sample_demands`).
+    _demand_mu: float | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 < self.qos_percentile < 1.0:
@@ -116,16 +120,21 @@ class LatencyCriticalWorkload:
 
     def sample_demands(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw ``n`` dilated service demands, reference-seconds."""
-        mean_s = self.demand_mean_ms * 1e-3 * self.sim_scale
-        mu = np.log(mean_s) - 0.5 * self.demand_sigma**2
-        return rng.lognormal(mean=mu, sigma=self.demand_sigma, size=n)
+        mu = self._demand_mu
+        if mu is None:
+            mean_s = self.demand_mean_ms * 1e-3 * self.sim_scale
+            mu = np.log(mean_s) - 0.5 * self.demand_sigma**2
+            # Frozen dataclass, so memoize through object.__setattr__; the
+            # value is a pure function of frozen fields.
+            object.__setattr__(self, "_demand_mu", mu)
+        return rng.lognormal(mu, self.demand_sigma, n)
 
     def reported_latency_ms(self, sim_latencies_s: np.ndarray) -> np.ndarray:
         """De-dilate queue latencies and add the network/stack floor."""
-        return (
-            np.asarray(sim_latencies_s, dtype=float) / self.sim_scale * 1e3
-            + self.base_latency_ms
-        )
+        out = np.asarray(sim_latencies_s, dtype=float) / self.sim_scale
+        np.multiply(out, 1e3, out=out)
+        np.add(out, self.base_latency_ms, out=out)
+        return out
 
     @property
     def idle_latency_ms(self) -> float:
@@ -205,6 +214,32 @@ def lc_server_speeds(
         )
         speeds.extend([small_speed] * config.n_small)
     return speeds[: workload.n_threads]
+
+
+def lc_server_speeds_array(
+    workload: LatencyCriticalWorkload,
+    platform: Platform,
+    config: Configuration,
+    *,
+    big_slowdown: float = 1.0,
+    small_slowdown: float = 1.0,
+) -> np.ndarray:
+    """:func:`lc_server_speeds` as a float array, for the array engine.
+
+    The interval engine computes the speed vector once per distinct
+    decision and hands the same buffer to the queue on every repeat, so
+    the per-interval cost of the speed law drops to a cache lookup.
+    """
+    return np.array(
+        lc_server_speeds(
+            workload,
+            platform,
+            config,
+            big_slowdown=big_slowdown,
+            small_slowdown=small_slowdown,
+        ),
+        dtype=float,
+    )
 
 
 def capacity_rps(

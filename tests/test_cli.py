@@ -77,6 +77,56 @@ class TestRejections:
             main(["fig99"])
         assert excinfo.value.code == 2
 
+    def test_output_on_non_bench_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "--output", "somewhere.json"])
+        assert excinfo.value.code == 2
+        assert "--output only applies to 'bench'" in error_message(capsys)
+
+
+class TestBenchSubcommand:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--quick"],
+            ["--seed", "7"],
+            ["--jobs", "2"],
+            ["--cache-dir", "/tmp/somewhere"],
+        ],
+    )
+    def test_bench_rejects_fixed_protocol_knobs(self, flags, capsys):
+        """The benchmark protocol is fixed; knobs it would ignore error."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", *flags])
+        assert excinfo.value.code == 2
+        assert "does not apply to 'bench'" in error_message(capsys)
+
+    def test_bench_accepts_output(self):
+        args = build_parser().parse_args(["bench", "--output", "B.json"])
+        assert args.experiment == "bench"
+        assert args.output == "B.json"
+
+    def test_bench_writes_report(self, tmp_path, monkeypatch, capsys):
+        """`bench` measures, renders and writes the report file."""
+        import repro.sim.bench as bench_mod
+
+        def fake_measure_point(arrivals, collocate, **kwargs):
+            return bench_mod.BenchPointResult(
+                arrivals=arrivals,
+                collocate=collocate,
+                reference_ips=1000.0,
+                optimized_ips=3456.0,
+                speedup=3.46,
+            )
+
+        monkeypatch.setattr(bench_mod, "measure_point", fake_measure_point)
+        out = tmp_path / "BENCH_engine.json"
+        assert main(["bench", "--output", str(out)]) == 0
+        report = bench_mod.load_report(out)
+        assert report["schema"] == 1
+        assert len(report["points"]) == len(bench_mod.BENCH_POINTS)
+        assert "3.46x" in capsys.readouterr().out
+
 
 class TestFleetFlagsAccepted:
     def test_fleet_accepts_nodes_balancer_and_workload(self):

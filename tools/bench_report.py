@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_engine.json`` at the repo root.
+
+Standalone wrapper around :mod:`repro.sim.bench` for environments where
+the package is not installed::
+
+    python tools/bench_report.py [output.json]
+
+Equivalent to ``hipster-repro bench``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv: list[str]) -> int:
+    from repro.sim.bench import render_report, write_report
+
+    output = argv[0] if argv else str(REPO_ROOT / "BENCH_engine.json")
+    report = write_report(output)
+    print(render_report(report))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
