@@ -1,0 +1,113 @@
+"""Batch-layer benchmark: persistent-pool runner vs per-call baseline.
+
+PR 3 made one engine run 3-4x faster, which moved the ``all --quick`` /
+fleet-sweep bottleneck up into the batch layer; this PR rebuilt that
+layer (persistent worker pool, cost-aware LJF scheduling, two-tier
+outcome cache).  The benchmark measures end-to-end batch throughput
+against :class:`repro.sim.bench_batch.PerCallPoolRunner`, the preserved
+pre-overhaul runner, exactly the way ``hipster-repro bench-batch``
+does.
+
+Guard design mirrors ``test_bench_engine.py``: absolute wall seconds
+vary wildly across machines, so CI asserts the *speedup ratio* (paired
+runs, median of per-pair ratios):
+
+* per-point hard floors -- the warm-memory point (the sweep inner loop
+  the overhaul targets) must stay >= 3x, the warm-start point must keep
+  beating the per-key open storm, and the compute-bound cold points
+  must not regress beyond noise;
+* the soft regression guard of the committed trajectory: measured
+  speedup must not drop more than 25% below ``BENCH_batch.json``.
+
+The trajectory numbers are refreshed with ``hipster-repro bench-batch``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.bench_batch import (
+    BENCH_REPORT_NAME,
+    load_report,
+    measure_fleet_cold,
+    measure_fleet_warm_memory,
+    measure_fleet_warm_start,
+    measure_grid_cold,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Hard machine-independent floors on the speedup ratio.  The cold
+#: points are compute-bound (the engine does the same work either way),
+#: so their floor only catches a real scheduling/caching regression,
+#: not noise; the warm points are what the overhaul is *for*.
+MIN_SPEEDUP = {
+    "all-quick-grid/cold": 0.7,
+    "fleet-64/cold": 0.7,
+    "fleet-64/warm-memory": 3.0,
+    # Warm starts are unpickle- and filesystem-bound: on fast local
+    # disks the manifest scan and the per-key open storm cost about the
+    # same, so this floor only catches a real read-path regression.
+    "fleet-64/warm-start": 0.75,
+}
+
+#: Soft guard: fraction of the committed speedup that must be retained.
+REGRESSION_TOLERANCE = 0.75
+
+#: Measurement effort per point: cold points re-simulate the whole
+#: batch per pair, so they get fewer pairs than the cheap warm points.
+MEASURES = {
+    "all-quick-grid/cold": lambda: measure_grid_cold(pairs=1),
+    "fleet-64/cold": lambda: measure_fleet_cold(pairs=1),
+    "fleet-64/warm-memory": lambda: measure_fleet_warm_memory(pairs=2),
+    "fleet-64/warm-start": lambda: measure_fleet_warm_start(pairs=2),
+}
+
+
+@pytest.fixture(scope="module")
+def committed_report():
+    return load_report(REPO_ROOT / BENCH_REPORT_NAME)
+
+
+@pytest.mark.parametrize("key", sorted(MEASURES))
+def test_batch_speedup(key, committed_report):
+    result = MEASURES[key]()
+    assert result.key == key
+    print(
+        f"\n{key}: {result.baseline_wall_s:.2f}s -> "
+        f"{result.optimized_wall_s:.2f}s for {result.spec_requests} "
+        f"spec request(s) ({result.speedup:.2f}x)"
+    )
+    assert result.speedup >= MIN_SPEEDUP[key], (
+        f"{key}: persistent-pool runner only {result.speedup:.2f}x over "
+        f"the per-call-pool baseline (floor {MIN_SPEEDUP[key]:.2f}x)"
+    )
+    if committed_report is not None and key in committed_report["points"]:
+        committed = committed_report["points"][key]["speedup"]
+        floor = committed * REGRESSION_TOLERANCE
+        assert result.speedup >= floor, (
+            f"{key}: speedup {result.speedup:.2f}x dropped >25% below the "
+            f"committed baseline {committed:.2f}x (floor {floor:.2f}x) -- "
+            f"batch-layer regression"
+        )
+
+
+@pytest.mark.benchmark(group="batch-layer")
+def test_warm_redispatch_throughput(benchmark):
+    """Absolute warm re-dispatch cost of the persistent runner, tracked
+    by pytest-benchmark (8-node fleet batch served from the LRU tier)."""
+    from repro.sim.batch import BatchRunner
+    from repro.sim.bench_batch import bench_fleet_spec
+
+    specs = list(bench_fleet_spec(8).node_specs())
+    runner = BatchRunner()  # serial: the warm path never needs workers
+    runner.run(specs)
+
+    def redispatch():
+        return runner.run(specs)
+
+    outcomes = benchmark.pedantic(redispatch, rounds=5, iterations=2)
+    assert len(outcomes) == len(specs)
+    assert runner.cache_misses == len(specs)  # warm-up only; never again

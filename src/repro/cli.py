@@ -9,22 +9,28 @@ Usage::
     hipster-repro all --quick --jobs 4 --cache-dir .hipster-cache
     hipster-repro fleet --quick --nodes 64 --balancer power-aware --jobs 4
     hipster-repro bench --output BENCH_engine.json
+    hipster-repro bench-batch --output BENCH_batch.json
 
 ``--quick`` compresses run lengths (CI-friendly); without it the runs
-match the paper's durations.  ``--jobs N`` fans each experiment's
-scenario batch out over N worker processes, and ``--cache-dir`` reuses
-previously computed results keyed by scenario fingerprint, so repeated
-``all`` invocations only re-run what changed.  ``fleet`` simulates a
+match the paper's durations.  ``--jobs N`` fans scenario batches out
+over N worker processes in one *persistent* pool shared by every
+experiment of the invocation, and ``--cache-dir`` adds the on-disk
+cache tier keyed by scenario fingerprint, so repeated ``all``
+invocations only re-run what changed (duplicates within one invocation
+are served by the in-process tier either way).  ``fleet`` simulates a
 multi-node cluster (see :mod:`repro.fleet`); its node runs fan out over
 the same pool and cache.  ``bench`` runs the interval-engine
-micro-benchmark (see :mod:`repro.sim.bench`) and writes the performance
-trajectory to ``BENCH_engine.json``.
+micro-benchmark (see :mod:`repro.sim.bench`) and ``bench-batch`` the
+batch-layer one (see :mod:`repro.sim.bench_batch`); they write the
+performance trajectories to ``BENCH_engine.json`` /
+``BENCH_batch.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.experiments import EXPERIMENTS
@@ -55,10 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["bench", "calibrate", "all", "fleet"],
+        choices=sorted(EXPERIMENTS)
+        + ["bench", "bench-batch", "calibrate", "all", "fleet"],
         help=(
             "which artifact to regenerate ('fleet' simulates a cluster, "
-            "'bench' records the engine performance trajectory)"
+            "'bench' records the engine performance trajectory, "
+            "'bench-batch' the batch-layer one)"
         ),
     )
     parser.add_argument(
@@ -110,7 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         metavar="FILE",
-        help="output file for 'bench' (default: BENCH_engine.json)",
+        help=(
+            "output file for 'bench'/'bench-batch' "
+            "(defaults: BENCH_engine.json / BENCH_batch.json)"
+        ),
     )
     return parser
 
@@ -169,22 +180,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 f"--cache-dir {args.cache_dir!r} exists and is not a directory"
             )
-    if args.output is not None and args.experiment != "bench":
+    if args.output is not None and args.experiment not in ("bench", "bench-batch"):
         parser.error(
-            f"--output only applies to 'bench'; '{args.experiment}' ignores it"
+            f"--output only applies to 'bench' and 'bench-batch'; "
+            f"'{args.experiment}' ignores it"
         )
-    if args.experiment == "bench":
-        # The benchmark protocol is fixed (seed, run lengths, serial
-        # execution) so its numbers stay comparable; reject knobs it
+    if args.experiment in ("bench", "bench-batch"):
+        # The benchmark protocols are fixed (seed, run lengths, worker
+        # counts) so their numbers stay comparable; reject knobs they
         # would silently ignore.
+        name = args.experiment
         if args.quick:
-            parser.error("--quick does not apply to 'bench'")
+            parser.error(f"--quick does not apply to '{name}'")
         if args.seed is not None:
-            parser.error("--seed does not apply to 'bench' (fixed protocol)")
+            parser.error(f"--seed does not apply to '{name}' (fixed protocol)")
         if args.jobs != 1:
-            parser.error("--jobs does not apply to 'bench' (runs serially)")
+            parser.error(f"--jobs does not apply to '{name}' (fixed protocol)")
         if args.cache_dir is not None:
-            parser.error("--cache-dir does not apply to 'bench'")
+            parser.error(f"--cache-dir does not apply to '{name}'")
     if args.seed is None:
         args.seed = DEFAULT_SEED
     workload_aware = (
@@ -213,33 +226,81 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_report(report))
         print(f"\nwrote {output}")
         return 0
+    if args.experiment == "bench-batch":
+        from repro.sim.bench_batch import render_report, write_report
 
-    runner = BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir)
-    if args.experiment == "fleet":
-        print(_run_fleet(args, runner))
-        _report_cache(runner)
+        output = args.output or "BENCH_batch.json"
+        report = write_report(output)
+        print(render_report(report))
+        print(f"\nwrote {output}")
         return 0
-    if args.experiment == "calibrate":
-        print(_run_calibration(runner))
-        return 0
-    if args.experiment == "all":
-        for name in sorted(EXPERIMENTS):
-            print(f"\n=== {name} ===")
-            print(_run_one(name, args, runner))
-        _report_cache(runner)
-        return 0
-    print(_run_one(args.experiment, args, runner))
+
+    # One runner -- hence one persistent worker pool and one two-tier
+    # cache -- is shared by every experiment of the invocation; the
+    # ``with`` block shuts the pool down on the way out.
+    with BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir) as runner:
+        if args.experiment == "fleet":
+            t0 = time.perf_counter()
+            print(_run_fleet(args, runner))
+            _report_stats(runner, [("fleet", time.perf_counter() - t0)])
+            return 0
+        if args.experiment == "calibrate":
+            print(_run_calibration(runner))
+            return 0
+        if args.experiment == "all":
+            walls = []
+            for name in sorted(EXPERIMENTS):
+                print(f"\n=== {name} ===")
+                t0 = time.perf_counter()
+                print(_run_one(name, args, runner))
+                walls.append((name, time.perf_counter() - t0))
+            _report_stats(runner, walls)
+            return 0
+        print(_run_one(args.experiment, args, runner))
     return 0
 
 
-def _report_cache(runner: BatchRunner) -> None:
-    """Cache statistics on stderr (stdout stays byte-stable across runs)."""
+def render_stats(
+    runner: BatchRunner, walls: Sequence[tuple[str, float]] = ()
+) -> list[str]:
+    """Cache / pool / wall-clock summary lines for one invocation.
+
+    ``[cache]`` appears when an on-disk cache is configured, ``[pool]``
+    when worker processes were actually spawned, and ``[wall]`` when
+    per-experiment timings were collected.
+    """
+    lines = []
     if runner.cache_dir is not None:
-        print(
-            f"\n[cache] {runner.cache_hits} hit(s), "
-            f"{runner.cache_misses} miss(es) in {runner.cache_dir}",
-            file=sys.stderr,
+        lines.append(
+            f"[cache] {runner.cache_hits} hit(s) "
+            f"({runner.memory_hits} memory, {runner.disk_hits} disk), "
+            f"{runner.cache_misses} miss(es) in {runner.cache_dir}"
         )
+    if runner.pool_spawns:
+        lines.append(
+            f"[pool] {runner.jobs} worker(s) "
+            f"(spawned {runner.pool_spawns} pool(s)), "
+            f"{runner.specs_dispatched} spec(s) dispatched in "
+            f"{runner.chunks_dispatched} chunk(s), "
+            f"{runner.cache_hits} served from cache"
+        )
+    if walls:
+        total = sum(wall for _, wall in walls)
+        lines.append(
+            "[wall] "
+            + " | ".join(f"{name} {wall:.2f}s" for name, wall in walls)
+            + f" | total {total:.2f}s"
+        )
+    return lines
+
+
+def _report_stats(
+    runner: BatchRunner, walls: Sequence[tuple[str, float]] = ()
+) -> None:
+    """Statistics on stderr (stdout stays byte-stable across runs)."""
+    lines = render_stats(runner, walls)
+    if lines:
+        print("\n" + "\n".join(lines), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -193,8 +193,18 @@ class FleetSpec:
 
         Pure data in, pure data out: the same fleet spec always expands
         to the same node specs (hence the same fingerprints), no matter
-        which process performs the expansion.
+        which process performs the expansion.  The expansion is memoized
+        on the instance -- re-dispatching a warm fleet through the batch
+        runner's in-memory tier costs cache lookups, not a balancer run.
         """
+        cached = self.__dict__.get("_node_specs_memo")
+        if cached is not None:
+            return cached
+        specs = self._expand_node_specs()
+        object.__setattr__(self, "_node_specs_memo", specs)
+        return specs
+
+    def _expand_node_specs(self) -> tuple[ScenarioSpec, ...]:
         from repro.scenarios import factories
 
         capacities = self.node_capacities()

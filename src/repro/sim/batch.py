@@ -1,22 +1,43 @@
-"""Batch execution of scenarios: process fan-out plus an on-disk cache.
+"""Batch execution of scenarios: a persistent worker pool, cost-aware
+scheduling and a two-tier outcome cache.
 
 The :class:`BatchRunner` is the execution layer between the declarative
 scenario specs (:mod:`repro.scenarios`) and the per-run engine
 (:mod:`repro.sim.engine`).  Given a list of specs it
 
 * deduplicates identical specs (figure grids often repeat a run),
-* serves previously computed results from an on-disk cache keyed by the
-  spec fingerprint (which folds in the queue-kernel version, so code
-  changes invalidate stale entries),
-* fans the remaining runs out over a :class:`ProcessPoolExecutor` when
-  ``jobs > 1`` -- specs are picklable and every worker rebuilds its
-  manager from the factories, so per-spec-seed determinism is preserved
-  and serial and parallel execution produce identical results,
+* serves previously computed results from a two-tier cache -- an
+  in-process LRU over an on-disk store -- keyed by the spec fingerprint
+  (which folds in the queue-kernel version, so code changes invalidate
+  stale entries),
+* fans the remaining runs out over a **persistent**
+  :class:`~concurrent.futures.ProcessPoolExecutor` that is created
+  lazily on first use and reused across ``run()`` calls, so a whole
+  ``hipster-repro all`` invocation pays the pool spawn (and the worker
+  warm-start imports) once instead of once per experiment,
+* dispatches in **longest-job-first** order via ``submit`` +
+  ``as_completed`` using a spec cost model calibrated against
+  ``BENCH_engine.json``, with cheap specs adaptively chunked so
+  inter-process overhead amortizes, and
 * returns outcomes in input order.
 
-A runner is cheap and stateless between calls (apart from hit/miss
-counters), so one instance can be threaded through a whole
-``hipster-repro all`` invocation to share its cache and worker budget.
+Completion order never affects results: every run is a pure function of
+its spec (per-spec-seed determinism), so serial, per-call-pool and
+persistent-pool execution are byte-identical.
+
+Cache layout
+------------
+``cache_dir`` holds one ``<fingerprint>.pkl`` per outcome (written
+atomically via ``os.replace``, so concurrent runners can share a
+directory) plus a single append-only ``manifest.pack``.  The pack holds
+``<key> <size>\\n<payload>`` records appended under an exclusive
+``flock``; warm starts index it with one sequential scan instead of a
+per-key ``open``/``stat`` storm, and a truncated tail (crashed writer)
+is simply ignored.  Both tiers key on the fingerprint, so a
+queue-kernel or schema version bump invalidates both at once.
+
+A runner should be closed when done (``close()`` or a ``with`` block)
+to shut its worker pool down; a serial runner never creates one.
 """
 
 from __future__ import annotations
@@ -24,44 +45,245 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+try:  # pragma: no cover - POSIX only; appends stay atomic-ish elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
 if TYPE_CHECKING:  # pragma: no cover - break the sim <-> scenarios cycle
     from repro.scenarios.spec import ScenarioOutcome, ScenarioSpec
 
+#: Name of the append-only manifest inside a cache directory.
+MANIFEST_NAME = "manifest.pack"
+
+#: Default capacity of the in-process LRU tier (entries); 0 disables it.
+DEFAULT_MEMORY_ENTRIES = 1024
+
+#: Size-aware companion bound: total interval observations held across
+#: all LRU entries (a proxy for resident bytes -- outcomes range from a
+#: ~30-interval calibration probe to a ~1400-interval paper-length day,
+#: so an entry count alone is blind to an order of magnitude of memory).
+#: 0 disables the size bound.
+DEFAULT_MEMORY_OBSERVATIONS = 500_000
+
+#: Cost-model calibration, from the committed ``BENCH_engine.json``
+#: trajectory: the optimized engine runs ~16.5k intervals/s at 1k real
+#: arrivals per interval and ~11k at 10k, i.e. per-interval cost grows
+#: roughly linearly with arrivals and doubles around 20k of them; a
+#: collocated SPEC batch adds ~12% at the heavy points.
+ARRIVALS_COST_HALF = 20_000.0
+COLLOCATION_COST_FACTOR = 1.12
+
+#: Scheduling: target chunks per worker.  More chunks = better load
+#: balance at the tail, fewer = less inter-process overhead; 4 is the
+#: classic oversubscription compromise.
+CHUNKS_PER_WORKER = 4
+
 
 def execute_scenario(spec: "ScenarioSpec") -> "ScenarioOutcome":
-    """Run one scenario in the current process (the pool's work item)."""
+    """Run one scenario in the current process."""
     return spec.run()
+
+
+def execute_chunk(specs: Sequence["ScenarioSpec"]) -> list["ScenarioOutcome"]:
+    """Run a chunk of scenarios in the current process (the pool's work
+    item); one submission amortizes dispatch overhead over the chunk."""
+    return [spec.run() for spec in specs]
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pull the heavyweight imports (engine, factories,
+    platform construction) into the worker once, not once per spec.
+
+    Under the default ``fork`` start method children inherit the parent's
+    modules and this is nearly free; under ``spawn``/``forkserver`` it
+    moves the multi-hundred-ms import tax out of the first chunk."""
+    import repro.scenarios.factories  # noqa: F401
+    import repro.sim.engine  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+
+_WORKLOAD_RPS_MEMO: dict[tuple, float] = {}
+
+
+def _workload_max_rps(workload: str, params) -> float:
+    """Max requests/s of a workload spec (memoized; params are frozen)."""
+    memo_key = (workload, params)
+    try:
+        return _WORKLOAD_RPS_MEMO[memo_key]
+    except KeyError:
+        from repro.scenarios import factories
+
+        rps = float(factories.build_workload(workload, params).max_load_rps)
+        _WORKLOAD_RPS_MEMO[memo_key] = rps
+        return rps
+
+
+def estimate_cost(spec: "ScenarioSpec") -> float:
+    """Relative execution cost of one spec, for scheduling only.
+
+    Modelled as ``intervals x (1 + arrivals_per_interval / half) x
+    collocation`` with constants calibrated from ``BENCH_engine.json``
+    (see :data:`ARRIVALS_COST_HALF`).  Only the *ordering* matters --
+    longest-job-first dispatch and chunk sizing -- so a rough estimate
+    is fine and the fallback for exotic traces is deliberately simple.
+    """
+    interval_s = float(dict(spec.engine).get("interval_s", 1.0))
+    duration = spec.trace.duration_s()
+    intervals = int(duration / interval_s) if interval_s > 0 else 0
+    if spec.n_intervals is not None:
+        intervals = min(intervals, spec.n_intervals) if intervals else spec.n_intervals
+    arrivals = (
+        spec.trace.mean_level()
+        * _workload_max_rps(spec.workload, spec.workload_params)
+        * interval_s
+    )
+    cost = max(intervals, 1) * (1.0 + arrivals / ARRIVALS_COST_HALF)
+    if spec.batch_jobs is not None:
+        cost *= COLLOCATION_COST_FACTOR
+    return cost
+
+
+def plan_chunks(
+    pending: Sequence[tuple[str, "ScenarioSpec"]], jobs: int
+) -> list[list[tuple[str, "ScenarioSpec"]]]:
+    """Longest-job-first dispatch plan with adaptive chunking.
+
+    Specs are sorted by estimated cost (descending, input order breaking
+    ties, so the plan is deterministic) and greedily packed into chunks
+    of roughly ``total_cost / (jobs * CHUNKS_PER_WORKER)``: expensive
+    specs travel alone -- one straggler must not serialize a tail of
+    cheap specs behind it -- while cheap specs share a submission.
+    """
+    if not pending:
+        return []
+    costs = [estimate_cost(spec) for _, spec in pending]
+    order = sorted(range(len(pending)), key=lambda i: (-costs[i], i))
+    target = sum(costs) / max(1, jobs * CHUNKS_PER_WORKER)
+    chunks: list[list[tuple[str, "ScenarioSpec"]]] = []
+    current: list[tuple[str, "ScenarioSpec"]] = []
+    current_cost = 0.0
+    for i in order:
+        (key, spec), cost = pending[i], costs[i]
+        if current and current_cost + cost > target:
+            chunks.append(current)
+            current, current_cost = [], 0.0
+        current.append((key, spec))
+        current_cost += cost
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
 
 
 @dataclass
 class BatchRunner:
-    """Fan scenario specs out over workers, caching results on disk.
+    """Fan scenario specs out over a persistent pool, caching results.
 
     Parameters
     ----------
     jobs:
-        Worker processes; 1 runs everything in-process (serial).
+        Worker processes; 1 runs everything in-process (serial).  The
+        pool is created lazily on the first parallel batch and reused by
+        every later :meth:`run` call until :meth:`close`.
     cache_dir:
-        Directory for pickled :class:`ScenarioOutcome`s keyed by spec
-        fingerprint; ``None`` disables caching.  Corrupt or unreadable
-        entries are treated as misses and recomputed.
+        Directory for the on-disk tier (per-key pickles plus the
+        append-only manifest pack); ``None`` keeps results only in the
+        in-process LRU.  Corrupt or unreadable entries are treated as
+        misses, and a corrupt per-key file is deleted on detection so it
+        is never re-parsed on the next warm start.
+    memory_entries:
+        Capacity of the in-process LRU tier; 0 disables it (every lookup
+        then goes to disk, and duplicate specs across ``run()`` calls
+        recompute when there is no ``cache_dir``).
+    memory_observations:
+        Size-aware cap on the LRU: total interval observations across
+        cached outcomes (oldest entries evict beyond it); 0 removes the
+        size bound and leaves only the entry count.
     """
 
     jobs: int = 1
     cache_dir: str | Path | None = None
+    memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    memory_observations: int = DEFAULT_MEMORY_OBSERVATIONS
     cache_hits: int = field(default=0, init=False)
     cache_misses: int = field(default=0, init=False)
+    memory_hits: int = field(default=0, init=False)
+    disk_hits: int = field(default=0, init=False)
+    specs_dispatched: int = field(default=0, init=False)
+    chunks_dispatched: int = field(default=0, init=False)
+    pool_spawns: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.memory_entries < 0:
+            raise ValueError("memory_entries must be >= 0")
+        if self.memory_observations < 0:
+            raise ValueError("memory_observations must be >= 0")
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
+        self._pool: ProcessPoolExecutor | None = None
+        self._memory: OrderedDict[str, "ScenarioOutcome"] = OrderedDict()
+        self._memory_weights: dict[str, int] = {}
+        self._memory_weight = 0
+        self._pack_index: dict[str, tuple[int, int]] | None = None
+        self._pack_read_fh = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def pool_workers(self) -> int:
+        """Workers in the live pool (0 while no pool exists)."""
+        return 0 if self._pool is None else self.jobs
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the caches survive)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        fh, self._pack_read_fh = self._pack_read_fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_warm_worker
+            )
+            self.pool_spawns += 1
+        return self._pool
 
     # ------------------------------------------------------------------
     # execution
@@ -92,12 +314,8 @@ class BatchRunner:
                 pending_keys.add(key)
                 self.cache_misses += 1
 
-        for key, outcome in zip(
-            (key for key, _ in pending),
-            self._execute([spec for _, spec in pending]),
-        ):
+        for key, outcome in self._execute(pending):
             outcomes[key] = outcome
-            self._cache_store(key, outcome)
 
         return [outcomes[key] for key in keys]
 
@@ -109,13 +327,52 @@ class BatchRunner:
         """Convenience wrapper for a single spec."""
         return self.run([spec])[0]
 
-    def _execute(self, specs: Sequence["ScenarioSpec"]) -> list["ScenarioOutcome"]:
-        if self.jobs > 1 and len(specs) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(specs))
-            ) as pool:
-                return list(pool.map(execute_scenario, specs))
-        return [execute_scenario(spec) for spec in specs]
+    def _execute(
+        self, pending: Sequence[tuple[str, "ScenarioSpec"]]
+    ) -> Iterable[tuple[str, "ScenarioOutcome"]]:
+        """Compute pending specs (completion order) and cache each one."""
+        if not pending:
+            return
+        self.specs_dispatched += len(pending)
+        # A single spec is cheaper in-process unless warm workers are
+        # already standing by.
+        if self.jobs > 1 and (self._pool is not None or len(pending) > 1):
+            yield from self._execute_pool(pending)
+            return
+        for key, spec in pending:
+            outcome = execute_scenario(spec)
+            self._cache_store_many([(key, outcome)])
+            yield key, outcome
+
+    def _execute_pool(
+        self, pending: Sequence[tuple[str, "ScenarioSpec"]]
+    ) -> Iterable[tuple[str, "ScenarioOutcome"]]:
+        chunks = plan_chunks(pending, self.jobs)
+        self.chunks_dispatched += len(chunks)
+        try:
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(execute_chunk, [spec for _, spec in chunk]): chunk
+                for chunk in chunks
+            }
+        except BrokenProcessPool:
+            self.close()
+            raise
+        not_done = set(futures)
+        try:
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk = futures[future]
+                    items = list(zip((key for key, _ in chunk), future.result()))
+                    self._cache_store_many(items)
+                    yield from items
+        except BrokenProcessPool:
+            self.close()
+            raise
+        finally:
+            for future in not_done:
+                future.cancel()
 
     # ------------------------------------------------------------------
     # cache
@@ -125,24 +382,148 @@ class BatchRunner:
         assert self.cache_dir is not None
         return Path(self.cache_dir) / f"{key}.pkl"
 
-    def _cache_load(self, key: str) -> "ScenarioOutcome | None":
-        from repro.scenarios.spec import ScenarioOutcome
+    def _manifest_path(self) -> Path:
+        assert self.cache_dir is not None
+        return Path(self.cache_dir) / MANIFEST_NAME
 
+    def _memory_get(self, key: str) -> "ScenarioOutcome | None":
+        if self.memory_entries == 0:
+            return None
+        outcome = self._memory.get(key)
+        if outcome is not None:
+            self._memory.move_to_end(key)
+        return outcome
+
+    def _memory_put(self, key: str, outcome: "ScenarioOutcome") -> None:
+        if self.memory_entries == 0:
+            return
+        weight = max(1, len(outcome.result))
+        if key in self._memory:
+            self._memory_weight -= self._memory_weights[key]
+        self._memory[key] = outcome
+        self._memory_weights[key] = weight
+        self._memory_weight += weight
+        self._memory.move_to_end(key)
+        while len(self._memory) > 1 and (
+            len(self._memory) > self.memory_entries
+            or (
+                self.memory_observations
+                and self._memory_weight > self.memory_observations
+            )
+        ):
+            evicted, _ = self._memory.popitem(last=False)
+            self._memory_weight -= self._memory_weights.pop(evicted)
+
+    def _cache_load(self, key: str) -> "ScenarioOutcome | None":
+        outcome = self._memory_get(key)
+        if outcome is not None:
+            self.memory_hits += 1
+            return outcome
         if self.cache_dir is None:
             return None
+        outcome = self._pack_load(key)
+        if outcome is None:
+            outcome = self._file_load(key)
+        if outcome is not None:
+            self.disk_hits += 1
+            self._memory_put(key, outcome)
+        return outcome
+
+    def _file_load(self, key: str) -> "ScenarioOutcome | None":
+        """The legacy per-key tier; deletes a corrupt entry on detection
+        so it is never re-parsed on the next warm start."""
+        from repro.scenarios.spec import ScenarioOutcome
+
         path = self._cache_path(key)
         try:
             with path.open("rb") as fh:
                 outcome = pickle.load(fh)
         except FileNotFoundError:
             return None
-        except Exception:  # corrupt/stale entry: recompute, never crash
+        except Exception:  # corrupt/stale entry: drop it and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         return outcome if isinstance(outcome, ScenarioOutcome) else None
 
-    def _cache_store(self, key: str, outcome: "ScenarioOutcome") -> None:
-        if self.cache_dir is None:
+    # -- manifest pack --------------------------------------------------
+
+    def _load_pack_index(self) -> dict[str, tuple[int, int]]:
+        """Scan the manifest once: key -> (payload offset, size).
+
+        Later records win (the pack is append-only); a malformed or
+        truncated tail ends the scan -- everything before it stays
+        usable, which is exactly what a crashed writer leaves behind.
+        """
+        if self._pack_index is not None:
+            return self._pack_index
+        index: dict[str, tuple[int, int]] = {}
+        path = self._manifest_path()
+        try:
+            with path.open("rb") as fh:
+                file_size = os.fstat(fh.fileno()).st_size
+                while True:
+                    header = fh.readline()
+                    if not header:
+                        break
+                    try:
+                        key_bytes, size_bytes = header.split()
+                        size = int(size_bytes)
+                    except ValueError:
+                        break
+                    offset = fh.tell()
+                    if size < 0 or offset + size > file_size:
+                        break
+                    index[key_bytes.decode("ascii", "replace")] = (offset, size)
+                    fh.seek(offset + size)
+        except OSError:
+            pass
+        self._pack_index = index
+        return index
+
+    def _pack_load(self, key: str) -> "ScenarioOutcome | None":
+        from repro.scenarios.spec import ScenarioOutcome
+
+        entry = self._load_pack_index().get(key)
+        if entry is None:
+            return None
+        offset, size = entry
+        try:
+            # One long-lived read handle: a warm start costs one open
+            # plus seeks, not an open per key.
+            if self._pack_read_fh is None:
+                self._pack_read_fh = self._manifest_path().open("rb")
+            self._pack_read_fh.seek(offset)
+            payload = self._pack_read_fh.read(size)
+            outcome = pickle.loads(payload)
+        except Exception:  # corrupt record: fall through to other tiers
+            fh, self._pack_read_fh = self._pack_read_fh, None
+            if fh is not None:
+                try:
+                    fh.close()
+                except OSError:
+                    pass
+            return None
+        return outcome if isinstance(outcome, ScenarioOutcome) else None
+
+    def _cache_store_many(
+        self, items: Sequence[tuple[str, "ScenarioOutcome"]]
+    ) -> None:
+        for key, outcome in items:
+            self._memory_put(key, outcome)
+        if self.cache_dir is None or not items:
             return
+        payloads = [
+            (key, pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
+            for key, outcome in items
+        ]
+        for key, payload in payloads:
+            self._file_store(key, payload)
+        self._pack_append_many(payloads)
+
+    def _file_store(self, key: str, payload: bytes) -> None:
         path = self._cache_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic write: a crashed/parallel writer must never leave a
@@ -150,7 +531,7 @@ class BatchRunner:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -159,7 +540,32 @@ class BatchRunner:
                 pass
             raise
 
+    def _pack_append_many(self, payloads: Sequence[tuple[str, bytes]]) -> None:
+        """Append records to the manifest under one exclusive lock."""
+        path = self._manifest_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        index = self._load_pack_index()
+        try:
+            with path.open("ab") as fh:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    fh.seek(0, os.SEEK_END)
+                    for key, payload in payloads:
+                        fh.write(f"{key} {len(payload)}\n".encode("ascii"))
+                        offset = fh.tell()
+                        fh.write(payload)
+                        index[key] = (offset, len(payload))
+                    fh.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            # The per-key tier already holds every outcome; losing the
+            # manifest only costs the next warm start some opens.
+            self._pack_index = None
+
 
 def get_runner(runner: BatchRunner | None) -> BatchRunner:
-    """The given runner, or a fresh serial uncached one."""
+    """The given runner, or a fresh serial one (LRU tier only)."""
     return runner if runner is not None else BatchRunner()

@@ -1,0 +1,439 @@
+"""Batch-layer benchmark: persistent-pool runner vs per-call-pool baseline.
+
+This module is the single source of truth for the *batch execution*
+performance trajectory, the layer above the interval engine that
+:mod:`repro.sim.bench` measures.  It drives the same spec batches
+through the current :class:`~repro.sim.batch.BatchRunner` (persistent
+worker pool, cost-aware LJF scheduling, two-tier outcome cache) and
+through :class:`PerCallPoolRunner`, a preserved reimplementation of the
+pre-overhaul runner (a fresh ``ProcessPoolExecutor`` per ``run()``
+call, order-preserving ``pool.map`` with chunksize 1, per-key pickle
+files only), and reports batch throughput for both plus their ratio.
+
+Per-spec-seed determinism means both runners produce byte-identical
+outcomes -- every measurement doubles as an equivalence check.
+
+Measurement protocol
+--------------------
+Runs are *paired* (one baseline run immediately followed by one
+persistent-pool run, fresh cache state per side as the point demands)
+and the headline speedup is the **median of per-pair wall-clock
+ratios**, the same drift-immune protocol as the engine benchmark.  Both
+sides run at ``--jobs 4``.
+
+Benchmark points
+----------------
+* ``all-quick-grid/cold`` -- the 14-experiment ``all --quick`` figure
+  grid (524 spec requests, ~340 unique) against an empty cache: the
+  per-call baseline spawns 14 pools and re-reads cross-experiment
+  duplicates from disk; the persistent runner spawns one pool and
+  serves duplicates from the in-process LRU.
+* ``fleet-64/cold`` -- one 64-node fleet-diurnal day, empty cache:
+  dominated by simulation compute; cost-aware chunking must at least
+  not regress it.
+* ``fleet-64/warm-memory`` -- the same fleet re-dispatched repeatedly
+  through one live runner (a sweep iterating on an overlapping grid):
+  the baseline re-reads all 64 outcomes from disk on every dispatch,
+  the persistent runner answers from the LRU tier.
+* ``fleet-64/warm-start`` -- a fresh runner against a populated cache
+  directory (re-running after a restart): per-key ``open``/``stat``
+  storm vs one sequential manifest-pack scan.
+
+Used by ``benchmarks/test_bench_batch.py`` (assertions + CI guard) and
+``hipster-repro bench-batch`` (writes ``BENCH_batch.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform as platform_module
+import statistics
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.sim.batch import BatchRunner, execute_scenario
+from repro.sim.queueing import KERNEL_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.spec import FleetSpec
+    from repro.scenarios.spec import ScenarioOutcome, ScenarioSpec
+
+#: Worker processes for every benchmark point (the ISSUE's target knob).
+BENCH_JOBS = 4
+
+#: Fleet size of the fleet points.
+FLEET_NODES = 64
+
+#: Re-dispatches per warm-memory measurement (amortizes timer noise).
+WARM_REDISPATCHES = 10
+
+#: Default pairs per point (the committed trajectory uses this).
+DEFAULT_PAIRS = 3
+
+#: Where the committed trajectory lives, relative to the repo root.
+BENCH_REPORT_NAME = "BENCH_batch.json"
+
+#: Experiment-registry keys whose ``run()`` takes a workload argument.
+_WORKLOAD_EXPERIMENTS = frozenset({"fig2", "fig5", "fleet-scale"})
+
+
+# ----------------------------------------------------------------------
+# the preserved pre-overhaul runner (benchmark baseline)
+# ----------------------------------------------------------------------
+
+
+class PerCallPoolRunner:
+    """The batch runner as it was before the sweep-scale overhaul.
+
+    Preserved verbatim in behaviour (the way
+    :mod:`repro.sim.engine_reference` preserves the pre-optimization
+    engine): a fresh ``ProcessPoolExecutor`` per ``run()`` call,
+    order-preserving ``pool.map`` with chunksize 1, and an on-disk cache
+    of one pickle file per fingerprint with no in-memory tier and no
+    manifest.  Only used as the benchmark baseline.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str | Path | None = None):
+        self.jobs = jobs
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def run(self, specs: Iterable["ScenarioSpec"]) -> list["ScenarioOutcome"]:
+        spec_list = list(specs)
+        keys = [spec.fingerprint() for spec in spec_list]
+        outcomes: dict[str, ScenarioOutcome] = {}
+        pending: list[tuple[str, ScenarioSpec]] = []
+        pending_keys: set[str] = set()
+        for key, spec in zip(keys, spec_list):
+            if key in outcomes or key in pending_keys:
+                continue
+            cached = self._cache_load(key)
+            if cached is not None:
+                outcomes[key] = cached
+                self.cache_hits += 1
+            else:
+                pending.append((key, spec))
+                pending_keys.add(key)
+                self.cache_misses += 1
+        for key, outcome in zip(
+            (key for key, _ in pending),
+            self._execute([spec for _, spec in pending]),
+        ):
+            outcomes[key] = outcome
+            self._cache_store(key, outcome)
+        return [outcomes[key] for key in keys]
+
+    def results(self, specs: Iterable["ScenarioSpec"]):
+        return [outcome.result for outcome in self.run(specs)]
+
+    def run_one(self, spec: "ScenarioSpec") -> "ScenarioOutcome":
+        return self.run([spec])[0]
+
+    def close(self) -> None:  # symmetry with BatchRunner
+        pass
+
+    def _execute(self, specs) -> list["ScenarioOutcome"]:
+        if self.jobs > 1 and len(specs) > 1:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+                return list(pool.map(execute_scenario, specs))
+        return [execute_scenario(spec) for spec in specs]
+
+    def _cache_load(self, key: str) -> "ScenarioOutcome | None":
+        from repro.scenarios.spec import ScenarioOutcome
+
+        if self.cache_dir is None:
+            return None
+        try:
+            with (self.cache_dir / f"{key}.pkl").open("rb") as fh:
+                outcome = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return None
+        return outcome if isinstance(outcome, ScenarioOutcome) else None
+
+    def _cache_store(self, key: str, outcome: "ScenarioOutcome") -> None:
+        if self.cache_dir is None:
+            return
+        path = self.cache_dir / f"{key}.pkl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+#: Runner factories, keyed by the side name used in the report.
+RUNNERS: dict[str, Callable[..., object]] = {
+    "percall": PerCallPoolRunner,
+    "persistent": BatchRunner,
+}
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+
+
+def run_quick_grid(runner) -> int:
+    """The ``all --quick`` figure grid through one runner; returns the
+    number of rendered characters (a cheap integrity proxy)."""
+    from repro.experiments import EXPERIMENTS
+
+    rendered = 0
+    for name in sorted(EXPERIMENTS):
+        module = EXPERIMENTS[name]
+        if name in _WORKLOAD_EXPERIMENTS:
+            result = module.run("memcached", quick=True, runner=runner)
+        else:
+            result = module.run(quick=True, runner=runner)
+        rendered += len(result.render())
+    return rendered
+
+
+def bench_fleet_spec(n_nodes: int = FLEET_NODES) -> "FleetSpec":
+    """The fleet point's spec: a quick memcached fleet-diurnal day."""
+    from repro.scenarios import DEFAULT_REGISTRY
+
+    return DEFAULT_REGISTRY.build(
+        "fleet-diurnal",
+        workload="memcached",
+        n_nodes=n_nodes,
+        balancer="round-robin",
+        quick=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchPointResult:
+    """Measured numbers for one benchmark point."""
+
+    key: str
+    baseline_wall_s: float
+    optimized_wall_s: float
+    speedup: float
+    spec_requests: int
+
+    def as_json(self) -> dict:
+        return {
+            "percall_wall_s": round(self.baseline_wall_s, 3),
+            "persistent_wall_s": round(self.optimized_wall_s, 3),
+            "speedup": round(self.speedup, 2),
+            "spec_requests": self.spec_requests,
+        }
+
+
+def _paired(
+    measure: Callable[[str], tuple[float, int]], key: str, pairs: int
+) -> BenchPointResult:
+    """Run ``measure(side)`` in baseline/persistent pairs; median ratio."""
+    ratios = []
+    best = {"percall": float("inf"), "persistent": float("inf")}
+    requests = 0
+    for _ in range(pairs):
+        base, requests = measure("percall")
+        opt, requests = measure("persistent")
+        ratios.append(base / opt)
+        best["percall"] = min(best["percall"], base)
+        best["persistent"] = min(best["persistent"], opt)
+    return BenchPointResult(
+        key=key,
+        baseline_wall_s=best["percall"],
+        optimized_wall_s=best["persistent"],
+        speedup=statistics.median(ratios),
+        spec_requests=requests,
+    )
+
+
+def measure_grid_cold(pairs: int = DEFAULT_PAIRS) -> BenchPointResult:
+    """``all-quick-grid/cold``: the full figure grid, empty cache."""
+
+    def measure(side: str) -> tuple[float, int]:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            runner = RUNNERS[side](jobs=BENCH_JOBS, cache_dir=cache_dir)
+            try:
+                t0 = time.perf_counter()
+                run_quick_grid(runner)
+                wall = time.perf_counter() - t0
+            finally:
+                runner.close()
+            return wall, runner.cache_hits + runner.cache_misses
+
+    return _paired(measure, "all-quick-grid/cold", pairs)
+
+
+def measure_fleet_cold(
+    pairs: int = DEFAULT_PAIRS, n_nodes: int = FLEET_NODES
+) -> BenchPointResult:
+    """``fleet-64/cold``: one fleet day, empty cache (compute-bound)."""
+    specs = list(bench_fleet_spec(n_nodes).node_specs())
+
+    def measure(side: str) -> tuple[float, int]:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            runner = RUNNERS[side](jobs=BENCH_JOBS, cache_dir=cache_dir)
+            try:
+                t0 = time.perf_counter()
+                runner.run(specs)
+                wall = time.perf_counter() - t0
+            finally:
+                runner.close()
+            return wall, len(specs)
+
+    return _paired(measure, f"fleet-{n_nodes}/cold", pairs)
+
+
+def measure_fleet_warm_memory(
+    pairs: int = DEFAULT_PAIRS,
+    n_nodes: int = FLEET_NODES,
+    redispatches: int = WARM_REDISPATCHES,
+) -> BenchPointResult:
+    """``fleet-64/warm-memory``: re-dispatching a live runner's batch.
+
+    This is the sweep inner loop -- overlapping grids dispatched against
+    a runner that has already computed the shared specs.  The baseline
+    pays the per-key disk storm every time; the persistent runner's LRU
+    answers in-process.
+    """
+    specs = list(bench_fleet_spec(n_nodes).node_specs())
+
+    def measure(side: str) -> tuple[float, int]:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            runner = RUNNERS[side](jobs=BENCH_JOBS, cache_dir=cache_dir)
+            try:
+                runner.run(specs)  # warm (untimed): compute + populate
+                t0 = time.perf_counter()
+                for _ in range(redispatches):
+                    runner.run(specs)
+                wall = time.perf_counter() - t0
+            finally:
+                runner.close()
+            return wall, redispatches * len(specs)
+
+    return _paired(measure, f"fleet-{n_nodes}/warm-memory", pairs)
+
+
+def measure_fleet_warm_start(
+    pairs: int = DEFAULT_PAIRS, n_nodes: int = FLEET_NODES
+) -> BenchPointResult:
+    """``fleet-64/warm-start``: a fresh process re-reads a full cache.
+
+    Models ``hipster-repro`` re-invoked with ``--cache-dir`` after a
+    code-free change: every outcome is already on disk, so the whole
+    run is the warm-start read path.
+    """
+    specs = list(bench_fleet_spec(n_nodes).node_specs())
+
+    def measure(side: str) -> tuple[float, int]:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            warmer = BatchRunner(jobs=BENCH_JOBS, cache_dir=cache_dir)
+            try:
+                warmer.run(specs)  # populate both tiers (untimed)
+            finally:
+                warmer.close()
+            runner = RUNNERS[side](jobs=BENCH_JOBS, cache_dir=cache_dir)
+            try:
+                t0 = time.perf_counter()
+                runner.run(specs)
+                wall = time.perf_counter() - t0
+            finally:
+                runner.close()
+            return wall, len(specs)
+
+    return _paired(measure, f"fleet-{n_nodes}/warm-start", pairs)
+
+
+def measure_all(pairs: int = DEFAULT_PAIRS) -> dict[str, BenchPointResult]:
+    """Measure every benchmark point, keyed for the JSON report."""
+    results = [
+        measure_grid_cold(pairs),
+        measure_fleet_cold(pairs),
+        measure_fleet_warm_memory(pairs),
+        measure_fleet_warm_start(pairs),
+    ]
+    return {result.key: result for result in results}
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+
+
+def build_report(results: dict[str, BenchPointResult]) -> dict:
+    """The ``BENCH_batch.json`` payload for a set of measurements."""
+    return {
+        "schema": 1,
+        "kernel_version": KERNEL_VERSION,
+        "benchmark": (
+            "batch-layer benchmark: spec batches dispatched through the "
+            "persistent-pool BatchRunner (LJF scheduling, two-tier "
+            "cache) vs the preserved per-call-pool baseline "
+            "(repro.sim.bench_batch.PerCallPoolRunner), both at "
+            f"jobs={BENCH_JOBS}"
+        ),
+        "protocol": (
+            f"paired runs ({DEFAULT_PAIRS} pairs), speedup = median of "
+            "per-pair wall-clock ratios, wall seconds = best over "
+            f"pairs; warm-memory re-dispatches the batch "
+            f"{WARM_REDISPATCHES}x through one live runner"
+        ),
+        "environment": {
+            "python": platform_module.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "points": {key: results[key].as_json() for key in sorted(results)},
+    }
+
+
+def write_report(path: str | Path, *, pairs: int = DEFAULT_PAIRS) -> dict:
+    """Measure everything and write the JSON report; returns the payload."""
+    report = build_report(measure_all(pairs))
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def load_report(path: str | Path) -> dict | None:
+    """The committed report, or ``None`` when absent/unreadable."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a report payload."""
+    env = report["environment"]
+    lines = [
+        f"Batch-layer benchmark ({report['kernel_version']}, "
+        f"python {env['python']}, numpy {env['numpy']}, "
+        f"{env.get('cpus', '?')} cpu(s)):"
+    ]
+    for key, point in sorted(report["points"].items()):
+        lines.append(
+            f"  {key}: {point['percall_wall_s']:.2f}s -> "
+            f"{point['persistent_wall_s']:.2f}s for "
+            f"{point['spec_requests']} spec request(s) "
+            f"({point['speedup']:.2f}x)"
+        )
+    return "\n".join(lines)

@@ -1,13 +1,21 @@
-"""Tests for the batch execution layer: parallelism, caching, dedup."""
+"""Tests for the batch execution layer: the persistent worker pool,
+cost-aware scheduling, the two-tier cache, parallelism and dedup."""
 
 from __future__ import annotations
 
 import pickle
+import threading
 
 import pytest
 
 from repro.scenarios import ScenarioSpec, TraceSpec
-from repro.sim.batch import BatchRunner, get_runner
+from repro.sim.batch import (
+    MANIFEST_NAME,
+    BatchRunner,
+    estimate_cost,
+    get_runner,
+    plan_chunks,
+)
 
 
 def tiny_specs() -> list[ScenarioSpec]:
@@ -35,12 +43,14 @@ class TestDeterminism:
         so a run stays a pure function of its spec."""
         specs = tiny_specs()
         serial = BatchRunner(jobs=1).run(specs)
-        parallel = BatchRunner(jobs=2).run(specs)
+        with BatchRunner(jobs=2) as parallel_runner:
+            parallel = parallel_runner.run(specs)
         assert_same_results(serial, parallel)
 
     def test_order_preserved(self):
         specs = tiny_specs()
-        outcomes = BatchRunner(jobs=2).run(specs)
+        with BatchRunner(jobs=2) as runner:
+            outcomes = runner.run(specs)
         assert [o.spec for o in outcomes] == specs
 
     def test_duplicate_specs_run_once_and_fan_out(self):
@@ -51,8 +61,110 @@ class TestDeterminism:
         assert_same_results([outcomes[0]], [outcomes[1]])
         assert_same_results([outcomes[0]], [outcomes[2]])
 
+    def test_persistent_pool_path_byte_identical_to_serial(self):
+        """Two successive batches through one pooled runner (the shape
+        of a whole ``all`` invocation through one persistent pool) are
+        byte-identical to fresh serial runs."""
+        specs = tiny_specs()
+        serial = BatchRunner(jobs=1).run(specs)
+        with BatchRunner(jobs=2) as runner:
+            first = runner.run(specs[:2])
+            second = runner.run(specs)  # [0:2] now from the LRU tier
+        assert_same_results(serial[:2], first)
+        assert_same_results(serial, second)
 
-class TestCache:
+
+class TestPersistentPool:
+    def test_pool_reused_across_run_calls(self):
+        specs = tiny_specs()
+        with BatchRunner(jobs=2, memory_entries=0) as runner:
+            runner.run(specs[:2])
+            first_pool = runner._pool
+            assert first_pool is not None
+            runner.run(specs[2:])
+            assert runner._pool is first_pool
+            assert runner.pool_spawns == 1
+            assert runner.pool_workers == 2
+
+    def test_no_pool_for_serial_runner(self):
+        runner = BatchRunner(jobs=1)
+        runner.run(tiny_specs()[:1])
+        assert runner._pool is None and runner.pool_spawns == 0
+        assert runner.pool_workers == 0
+
+    def test_close_shuts_pool_down_and_is_idempotent(self):
+        runner = BatchRunner(jobs=2)
+        runner.run(tiny_specs()[:2])
+        assert runner._pool is not None
+        runner.close()
+        assert runner._pool is None
+        runner.close()  # idempotent
+
+    def test_context_manager_closes(self):
+        with BatchRunner(jobs=2) as runner:
+            runner.run(tiny_specs()[:2])
+            assert runner._pool is not None
+        assert runner._pool is None
+
+    def test_single_spec_runs_in_process_until_pool_exists(self):
+        """One pending spec is not worth a pool spawn; once workers are
+        warm they are used."""
+        specs = tiny_specs()
+        with BatchRunner(jobs=2, memory_entries=0) as runner:
+            runner.run([specs[0]])
+            assert runner.pool_spawns == 0
+            runner.run(specs)  # >1 pending: pool spawns
+            assert runner.pool_spawns == 1
+
+
+class TestMemoryTier:
+    def test_repeat_dispatch_hits_memory_without_cache_dir(self):
+        specs = tiny_specs()
+        runner = BatchRunner()
+        first = runner.run(specs)
+        assert runner.cache_misses == len(specs)
+        second = runner.run(specs)
+        assert runner.memory_hits == len(specs)
+        assert runner.cache_misses == len(specs)  # nothing recomputed
+        assert_same_results(first, second)
+
+    def test_memory_tier_can_be_disabled(self):
+        spec = tiny_specs()[0]
+        runner = BatchRunner(memory_entries=0)
+        runner.run([spec])
+        runner.run([spec])
+        assert runner.cache_misses == 2 and runner.memory_hits == 0
+
+    def test_lru_evicts_beyond_capacity(self):
+        specs = tiny_specs()
+        runner = BatchRunner(memory_entries=2)
+        runner.run(specs)  # 4 unique specs through a 2-entry LRU
+        assert len(runner._memory) == 2
+        # The two most recent stay; the two oldest recompute.
+        runner.run(specs[2:])
+        assert runner.memory_hits == 2
+
+    def test_size_bound_evicts_oldest_but_keeps_newest(self):
+        """The observation-weighted bound caps resident outcomes even
+        when the entry count is nowhere near its limit -- but never
+        evicts the entry just inserted."""
+        specs = tiny_specs()  # 15 observations per outcome
+        runner = BatchRunner(memory_observations=20)
+        runner.run(specs)
+        assert len(runner._memory) == 1  # any second entry busts 20 obs
+        assert runner._memory_weight == 15
+        # The survivor is the most recently stored outcome.
+        (key,) = runner._memory
+        assert key == specs[-1].fingerprint()
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError, match="memory_entries"):
+            BatchRunner(memory_entries=-1)
+        with pytest.raises(ValueError, match="memory_observations"):
+            BatchRunner(memory_observations=-1)
+
+
+class TestDiskCache:
     def test_second_run_hits_cache(self, tmp_path):
         specs = tiny_specs()
         cold = BatchRunner(cache_dir=tmp_path)
@@ -63,21 +175,54 @@ class TestCache:
         warm = BatchRunner(cache_dir=tmp_path)
         second = warm.run(specs)
         assert warm.cache_hits == len(specs)
+        assert warm.disk_hits == len(specs)
         assert warm.cache_misses == 0
         assert_same_results(first, second)
 
     def test_cache_keyed_by_fingerprint(self, tmp_path):
         spec = tiny_specs()[0]
-        runner = BatchRunner(cache_dir=tmp_path)
-        runner.run([spec])
+        BatchRunner(cache_dir=tmp_path).run([spec])
         assert (tmp_path / f"{spec.fingerprint()}.pkl").exists()
+        assert (tmp_path / MANIFEST_NAME).exists()
 
-    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+    def test_changed_spec_misses(self, tmp_path):
+        runner = BatchRunner(cache_dir=tmp_path)
+        spec = tiny_specs()[0]
+        runner.run([spec])
+        runner.run([spec.with_(seed=99)])
+        assert runner.cache_misses == 2
+
+    def test_warm_start_reads_manifest_not_per_key_files(self, tmp_path):
+        """The pack alone can serve a warm start: deleting every per-key
+        pickle must not cause a single recompute."""
+        specs = tiny_specs()
+        first = BatchRunner(cache_dir=tmp_path).run(specs)
+        for path in tmp_path.glob("*.pkl"):
+            path.unlink()
+        warm = BatchRunner(cache_dir=tmp_path)
+        second = warm.run(specs)
+        assert warm.cache_hits == len(specs) and warm.cache_misses == 0
+        assert_same_results(first, second)
+
+    def test_per_key_files_alone_also_serve_legacy_caches(self, tmp_path):
+        """A PR-3-era cache directory (no manifest) still warm-starts."""
+        specs = tiny_specs()[:2]
+        first = BatchRunner(cache_dir=tmp_path).run(specs)
+        (tmp_path / MANIFEST_NAME).unlink()
+        warm = BatchRunner(cache_dir=tmp_path)
+        second = warm.run(specs)
+        assert warm.cache_hits == len(specs)
+        assert_same_results(first, second)
+
+
+class TestCacheCorruption:
+    def test_corrupt_entry_in_both_tiers_recomputed(self, tmp_path):
         spec = tiny_specs()[0]
         runner = BatchRunner(cache_dir=tmp_path)
         (original,) = runner.run([spec])
         path = tmp_path / f"{spec.fingerprint()}.pkl"
         path.write_bytes(b"not a pickle")
+        (tmp_path / MANIFEST_NAME).write_bytes(b"garbage with no header\n")
 
         recovered = BatchRunner(cache_dir=tmp_path)
         (outcome,) = recovered.run([spec])
@@ -87,12 +232,146 @@ class TestCache:
         with path.open("rb") as fh:
             assert pickle.load(fh).spec == spec
 
-    def test_changed_spec_misses(self, tmp_path):
-        runner = BatchRunner(cache_dir=tmp_path)
+    def test_truncated_per_key_entry_deleted_on_detection(self, tmp_path):
+        """Regression: a corrupt per-key pickle used to survive as a
+        miss forever, re-parsed (and re-failed) on every warm start; now
+        detection deletes it before the recompute overwrites it."""
         spec = tiny_specs()[0]
-        runner.run([spec])
-        runner.run([spec.with_(seed=99)])
-        assert runner.cache_misses == 2
+        BatchRunner(cache_dir=tmp_path).run([spec])
+        path = tmp_path / f"{spec.fingerprint()}.pkl"
+        truncated = path.read_bytes()[:20]
+        path.write_bytes(truncated)
+        (tmp_path / MANIFEST_NAME).unlink()  # isolate the per-key tier
+
+        runner = BatchRunner(cache_dir=tmp_path, memory_entries=0)
+        assert runner._cache_load(spec.fingerprint()) is None
+        assert not path.exists(), "corrupt entry must be deleted, not kept"
+
+    def test_corrupt_per_key_entry_served_from_manifest(self, tmp_path):
+        """With a healthy pack record the corrupt per-key file never
+        even gets opened -- the manifest tier sits in front of it."""
+        spec = tiny_specs()[0]
+        (original,) = BatchRunner(cache_dir=tmp_path).run([spec])
+        (tmp_path / f"{spec.fingerprint()}.pkl").write_bytes(b"junk")
+        warm = BatchRunner(cache_dir=tmp_path)
+        (outcome,) = warm.run([spec])
+        assert warm.cache_hits == 1 and warm.cache_misses == 0
+        assert_same_results([original], [outcome])
+
+    def test_truncated_manifest_tail_keeps_valid_prefix(self, tmp_path):
+        """A crashed writer leaves a half-record tail; records before it
+        stay readable and the tail is ignored."""
+        specs = tiny_specs()[:2]
+        first = BatchRunner(cache_dir=tmp_path).run(specs)
+        manifest = tmp_path / MANIFEST_NAME
+        with manifest.open("ab") as fh:
+            fh.write(b"deadbeef 999999\ntruncated-payload")
+        for path in tmp_path.glob("*.pkl"):
+            path.unlink()  # force the pack tier
+        warm = BatchRunner(cache_dir=tmp_path)
+        second = warm.run(specs)
+        assert warm.cache_hits == len(specs)
+        assert_same_results(first, second)
+
+
+class TestConcurrentRunners:
+    def test_two_runners_share_one_cache_dir(self, tmp_path):
+        """Two runners racing over overlapping batches (atomic per-key
+        writes + locked manifest appends) must corrupt nothing and agree
+        on every outcome."""
+        specs = tiny_specs()
+        results: dict[str, list] = {}
+        errors: list[BaseException] = []
+
+        def drive(name: str, batch):
+            try:
+                results[name] = BatchRunner(cache_dir=tmp_path).run(batch)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=("a", specs)),
+            threading.Thread(target=drive, args=("b", list(reversed(specs)))),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert_same_results(results["a"], list(reversed(results["b"])))
+
+        # Every tier is intact: a fresh runner warm-starts fully from
+        # the pack, and every per-key pickle still loads.
+        warm = BatchRunner(cache_dir=tmp_path)
+        replay = warm.run(specs)
+        assert warm.cache_hits == len(specs) and warm.cache_misses == 0
+        assert_same_results(results["a"], replay)
+        for path in tmp_path.glob("*.pkl"):
+            with path.open("rb") as fh:
+                pickle.load(fh)
+
+
+class TestScheduling:
+    def cheap_and_expensive(self):
+        base = ScenarioSpec(
+            workload="memcached",
+            trace=TraceSpec.constant(0.3, 10.0),
+            manager="static-big",
+        )
+        cheap = [base.with_(seed=i) for i in range(6)]
+        expensive = base.with_(trace=TraceSpec.constant(0.9, 600.0), seed=99)
+        return cheap, expensive
+
+    def test_cost_model_orders_by_work(self):
+        cheap, expensive = self.cheap_and_expensive()
+        assert estimate_cost(expensive) > 10 * estimate_cost(cheap[0])
+        collocated = cheap[0].with_(batch_jobs="spec:calculix")
+        assert estimate_cost(collocated) > estimate_cost(cheap[0])
+        loaded = cheap[0].with_(trace=TraceSpec.constant(1.0, 10.0))
+        assert estimate_cost(loaded) > estimate_cost(cheap[0])
+
+    def test_plan_covers_every_spec_exactly_once(self):
+        cheap, expensive = self.cheap_and_expensive()
+        pending = [(s.fingerprint(), s) for s in cheap + [expensive]]
+        chunks = plan_chunks(pending, jobs=2)
+        flattened = [key for chunk in chunks for key, _ in chunk]
+        assert sorted(flattened) == sorted(key for key, _ in pending)
+
+    def test_longest_job_dispatches_first_and_alone(self):
+        cheap, expensive = self.cheap_and_expensive()
+        pending = [(s.fingerprint(), s) for s in cheap] + [
+            (expensive.fingerprint(), expensive)
+        ]
+        chunks = plan_chunks(pending, jobs=2)
+        assert chunks[0] == [(expensive.fingerprint(), expensive)]
+        assert len(chunks) > 1  # the cheap tail is not serialized behind it
+
+    def test_cheap_specs_share_chunks(self):
+        base, _ = self.cheap_and_expensive()
+        cheap = [base[0].with_(seed=i) for i in range(20)]
+        pending = [(s.fingerprint(), s) for s in cheap]
+        chunks = plan_chunks(pending, jobs=2)
+        # Uniform costs over 2 workers x oversubscription: fewer chunks
+        # than specs, i.e. chunking actually batches.
+        assert len(chunks) < len(pending)
+
+    def test_cost_model_handles_builder_default_traces(self):
+        """Regression: a trace that leans on builder defaults (e.g. a
+        bare diurnal) must cost-estimate via the built trace, not crash
+        the parallel dispatch path with a KeyError."""
+        spec = ScenarioSpec(
+            workload="memcached", trace=TraceSpec("diurnal"), manager="static-big"
+        )
+        assert estimate_cost(spec) > 0
+        assert plan_chunks([(spec.fingerprint(), spec)], jobs=2)
+
+    def test_plan_is_deterministic(self):
+        cheap, expensive = self.cheap_and_expensive()
+        pending = [(s.fingerprint(), s) for s in cheap + [expensive]]
+        assert plan_chunks(pending, jobs=3) == plan_chunks(pending, jobs=3)
+
+    def test_empty_plan(self):
+        assert plan_chunks([], jobs=4) == []
 
 
 class TestRunnerBasics:
@@ -124,9 +403,8 @@ class TestExperimentEquivalence:
         from repro.experiments import fig09_learning_time
 
         serial = fig09_learning_time.run(quick=True)
-        parallel = fig09_learning_time.run(
-            quick=True, runner=BatchRunner(jobs=2, cache_dir=tmp_path)
-        )
+        with BatchRunner(jobs=2, cache_dir=tmp_path) as runner:
+            parallel = fig09_learning_time.run(quick=True, runner=runner)
         assert serial.render() == parallel.render()
 
     def test_calibrate_probes_share_cache(self, tmp_path):

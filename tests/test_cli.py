@@ -8,7 +8,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, render_stats
+from repro.sim.batch import BatchRunner
 
 
 def error_message(capsys) -> str:
@@ -84,7 +85,52 @@ class TestRejections:
         assert "--output only applies to 'bench'" in error_message(capsys)
 
 
+class TestStatsSummary:
+    """Formatting of the stderr cache/pool/wall summary lines."""
+
+    def runner_with(self, tmp_path, **counters) -> BatchRunner:
+        runner = BatchRunner(jobs=4, cache_dir=tmp_path)
+        for name, value in counters.items():
+            setattr(runner, name, value)
+        return runner
+
+    def test_cache_line_breaks_hits_down_by_tier(self, tmp_path):
+        runner = self.runner_with(
+            tmp_path, cache_hits=184, memory_hits=120, disk_hits=64,
+            cache_misses=340,
+        )
+        (cache_line,) = render_stats(runner)
+        assert cache_line == (
+            f"[cache] 184 hit(s) (120 memory, 64 disk), "
+            f"340 miss(es) in {tmp_path}"
+        )
+
+    def test_pool_line_reports_dispatch_shape(self, tmp_path):
+        runner = self.runner_with(
+            tmp_path, cache_hits=5, pool_spawns=1, specs_dispatched=340,
+            chunks_dispatched=83,
+        )
+        lines = render_stats(runner)
+        assert lines[1] == (
+            "[pool] 4 worker(s) (spawned 1 pool(s)), 340 spec(s) "
+            "dispatched in 83 chunk(s), 5 served from cache"
+        )
+
+    def test_wall_line_lists_experiments_and_total(self, tmp_path):
+        runner = self.runner_with(tmp_path)
+        lines = render_stats(runner, [("fig1", 0.5), ("table3", 1.25)])
+        assert lines[-1] == "[wall] fig1 0.50s | table3 1.25s | total 1.75s"
+
+    def test_no_lines_for_plain_serial_uncached_runner(self):
+        assert render_stats(BatchRunner()) == []
+
+    def test_no_pool_line_before_any_spawn(self, tmp_path):
+        lines = render_stats(self.runner_with(tmp_path))
+        assert len(lines) == 1 and lines[0].startswith("[cache]")
+
+
 class TestBenchSubcommand:
+    @pytest.mark.parametrize("command", ["bench", "bench-batch"])
     @pytest.mark.parametrize(
         "flags",
         [
@@ -94,12 +140,12 @@ class TestBenchSubcommand:
             ["--cache-dir", "/tmp/somewhere"],
         ],
     )
-    def test_bench_rejects_fixed_protocol_knobs(self, flags, capsys):
-        """The benchmark protocol is fixed; knobs it would ignore error."""
+    def test_bench_rejects_fixed_protocol_knobs(self, command, flags, capsys):
+        """The benchmark protocols are fixed; knobs they ignore error."""
         with pytest.raises(SystemExit) as excinfo:
-            main(["bench", *flags])
+            main([command, *flags])
         assert excinfo.value.code == 2
-        assert "does not apply to 'bench'" in error_message(capsys)
+        assert f"does not apply to '{command}'" in error_message(capsys)
 
     def test_bench_accepts_output(self):
         args = build_parser().parse_args(["bench", "--output", "B.json"])
@@ -126,6 +172,28 @@ class TestBenchSubcommand:
         assert report["schema"] == 1
         assert len(report["points"]) == len(bench_mod.BENCH_POINTS)
         assert "3.46x" in capsys.readouterr().out
+
+    def test_bench_batch_writes_report(self, tmp_path, monkeypatch, capsys):
+        """`bench-batch` measures, renders and writes the batch report."""
+        import repro.sim.bench_batch as bb
+
+        def fake_measure_all(pairs=bb.DEFAULT_PAIRS):
+            result = bb.BenchPointResult(
+                key="fleet-64/warm-memory",
+                baseline_wall_s=1.2,
+                optimized_wall_s=0.1,
+                speedup=12.0,
+                spec_requests=640,
+            )
+            return {result.key: result}
+
+        monkeypatch.setattr(bb, "measure_all", fake_measure_all)
+        out = tmp_path / "BENCH_batch.json"
+        assert main(["bench-batch", "--output", str(out)]) == 0
+        report = bb.load_report(out)
+        assert report["schema"] == 1
+        assert report["points"]["fleet-64/warm-memory"]["speedup"] == 12.0
+        assert "12.00x" in capsys.readouterr().out
 
 
 class TestFleetFlagsAccepted:
