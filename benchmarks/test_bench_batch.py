@@ -13,9 +13,10 @@ vary wildly across machines, so CI asserts the *speedup ratio* (paired
 runs, median of per-pair ratios):
 
 * per-point hard floors -- the warm-memory point (the sweep inner loop
-  the overhaul targets) must stay >= 3x, the warm-start point must keep
-  beating the per-key open storm, and the compute-bound cold points
-  must not regress beyond noise;
+  the overhaul targets) must stay >= 3x, the warm-start and
+  warm-decode points must keep the columnar payload advantage over the
+  pre-columnar dataclass-tuple format (the storage overhaul's target),
+  and the compute-bound cold points must not regress beyond noise;
 * the soft regression guard of the committed trajectory: measured
   speedup must not drop more than 25% below ``BENCH_batch.json``.
 
@@ -32,6 +33,7 @@ from repro.sim.bench_batch import (
     BENCH_REPORT_NAME,
     load_report,
     measure_fleet_cold,
+    measure_fleet_warm_decode,
     measure_fleet_warm_memory,
     measure_fleet_warm_start,
     measure_grid_cold,
@@ -47,10 +49,14 @@ MIN_SPEEDUP = {
     "all-quick-grid/cold": 0.7,
     "fleet-64/cold": 0.7,
     "fleet-64/warm-memory": 3.0,
-    # Warm starts are unpickle- and filesystem-bound: on fast local
-    # disks the manifest scan and the per-key open storm cost about the
-    # same, so this floor only catches a real read-path regression.
-    "fleet-64/warm-start": 0.75,
+    # Warm starts pit the manifest scan + columnar decode against the
+    # per-key open storm + dataclass-tuple decode; the committed point
+    # sits well above 2x, so 1.5x only fires on a real read-path
+    # regression, not filesystem noise.
+    "fleet-64/warm-start": 1.5,
+    # Pure payload decode has no filesystem noise at all: columnar
+    # tables must stay comfortably ahead of per-interval dataclasses.
+    "fleet-64/warm-decode": 2.0,
 }
 
 #: Soft guard: fraction of the committed speedup that must be retained.
@@ -63,6 +69,7 @@ MEASURES = {
     "fleet-64/cold": lambda: measure_fleet_cold(pairs=1),
     "fleet-64/warm-memory": lambda: measure_fleet_warm_memory(pairs=2),
     "fleet-64/warm-start": lambda: measure_fleet_warm_start(pairs=2),
+    "fleet-64/warm-decode": lambda: measure_fleet_warm_decode(pairs=2),
 }
 
 

@@ -16,7 +16,7 @@ Importing this package registers the fleet scenario families
 """
 
 from repro.fleet import families  # noqa: F401  (registers fleet families)
-from repro.fleet.aggregate import FleetOutcome
+from repro.fleet.aggregate import FleetAccumulator, FleetOutcome, NodeReduction
 from repro.fleet.balancer import (
     BALANCER_FACTORIES,
     LeastLoadedBalancer,
@@ -36,8 +36,10 @@ def run_fleet(spec: FleetSpec, runner=None) -> FleetOutcome:
 __all__ = [
     "BALANCER_FACTORIES",
     "FLEET_SCHEMA_VERSION",
+    "FleetAccumulator",
     "FleetOutcome",
     "FleetSpec",
+    "NodeReduction",
     "LeastLoadedBalancer",
     "LoadBalancer",
     "PowerAwareBalancer",

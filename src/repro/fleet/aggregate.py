@@ -5,6 +5,18 @@ quantities that only exist at cluster scope -- total power draw, the
 tail-of-tails QoS (a user's request is slow if *its* node was slow, and
 the fleet's p-worst interval is governed by the worst node), and the
 utilization skew the balancer policy induced across nodes.
+
+The fold is **streaming**: as each node outcome arrives (in whatever
+order the batch runner completes them), :class:`FleetAccumulator`
+reduces its observation table to a :class:`NodeReduction` -- a handful
+of scalars plus two per-interval series -- and folds it, *in node
+order*, into fixed-size fleet accumulators.  The node's full
+observation table is dropped immediately, so a 1024-node sweep holds
+``O(n_nodes + n_intervals)`` aggregation state instead of every node's
+observations; out-of-order completions buffer only their reductions.
+Folding in node order keeps every aggregate bit-identical to the
+stacked ``np.sum``/``np.max`` reductions it replaced (axis-0 reduction
+is a sequential left fold), no matter the completion order.
 """
 
 from __future__ import annotations
@@ -16,22 +28,171 @@ import numpy as np
 from repro.fleet.spec import FleetSpec
 from repro.scenarios.spec import ScenarioOutcome
 from repro.sim.latency import qos_tardiness
-from repro.sim.records import ExperimentResult
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
+class NodeReduction:
+    """One node's contribution to the fleet fold.
+
+    Everything the fleet metrics and the per-node report table need,
+    reduced from the node's observation columns exactly once: five
+    scalars plus the two per-interval series that feed the fleet-level
+    running max (tails) and running sum (power).
+    """
+
+    index: int
+    n_intervals: int
+    target_latency_ms: float
+    mean_power_w: float
+    qos_guarantee: float
+    mean_utilization: float
+    mean_load: float
+    total_energy_j: float
+    tails_ms: np.ndarray
+    powers_w: np.ndarray
+
+    @classmethod
+    def from_outcome(cls, index: int, outcome: ScenarioOutcome) -> "NodeReduction":
+        """Reduce one node outcome's columns (each computed once)."""
+        result = outcome.result
+        return cls(
+            index=index,
+            n_intervals=len(result),
+            target_latency_ms=result.target_latency_ms,
+            mean_power_w=result.mean_power_w(),
+            qos_guarantee=result.qos_guarantee(),
+            mean_utilization=result.mean_utilization(),
+            mean_load=float(np.mean(result.loads)),
+            total_energy_j=result.total_energy_j(),
+            tails_ms=result.tails_ms,
+            powers_w=result.powers_w,
+        )
+
+
+class FleetAccumulator:
+    """Folds node outcomes into a :class:`FleetOutcome`, node by node.
+
+    ``add()`` accepts nodes in any completion order; reductions are
+    buffered until their node index is next in sequence and then folded,
+    so the running tails-max and power-sum accumulate in node order
+    (bit-identical to the pre-streaming stacked reductions) while full
+    node observations are never retained.
+    """
+
+    def __init__(self, spec: FleetSpec):
+        if spec.n_nodes < 1:
+            raise ValueError("a fleet outcome needs at least one node")
+        self._spec = spec
+        n = spec.n_nodes
+        self._node_powers = np.empty(n)
+        self._node_qos = np.empty(n)
+        self._node_utils = np.empty(n)
+        self._node_loads = np.empty(n)
+        self._total_energy = 0.0
+        self._fleet_tails: np.ndarray | None = None
+        self._fleet_powers: np.ndarray | None = None
+        self._target: float | None = None
+        self._n_intervals: int | None = None
+        self._next = 0
+        self._pending: dict[int, NodeReduction] = {}
+
+    def add(self, index: int, outcome: ScenarioOutcome) -> None:
+        """Consume one node's outcome (any order; folded in node order)."""
+        if not 0 <= index < self._spec.n_nodes:
+            raise IndexError(
+                f"node index {index} outside fleet of {self._spec.n_nodes}"
+            )
+        if index < self._next or index in self._pending:
+            raise ValueError(f"node {index} added twice")
+        self._pending[index] = NodeReduction.from_outcome(index, outcome)
+        while self._next in self._pending:
+            self._fold(self._pending.pop(self._next))
+            self._next += 1
+
+    def _fold(self, node: NodeReduction) -> None:
+        if self._n_intervals is None:
+            self._n_intervals = node.n_intervals
+            self._target = node.target_latency_ms
+            self._fleet_tails = node.tails_ms.copy()
+            self._fleet_powers = node.powers_w.copy()
+        else:
+            if node.n_intervals != self._n_intervals:
+                raise ValueError(
+                    "nodes ran unequal interval counts: "
+                    f"{sorted({self._n_intervals, node.n_intervals})}"
+                )
+            np.maximum(self._fleet_tails, node.tails_ms, out=self._fleet_tails)
+            self._fleet_powers += node.powers_w
+        i = node.index
+        self._node_powers[i] = node.mean_power_w
+        self._node_qos[i] = node.qos_guarantee
+        self._node_utils[i] = node.mean_utilization
+        self._node_loads[i] = node.mean_load
+        self._total_energy += node.total_energy_j
+
+    def finish(self) -> "FleetOutcome":
+        """The aggregated fleet outcome; every node must have arrived."""
+        if self._next != self._spec.n_nodes:
+            missing = self._spec.n_nodes - self._next
+            raise ValueError(
+                f"fleet aggregation incomplete: {missing} node(s) missing "
+                f"(next expected index {self._next})"
+            )
+        return FleetOutcome(
+            spec=self._spec,
+            node_powers_w=self._node_powers,
+            node_qos=self._node_qos,
+            node_utils=self._node_utils,
+            node_loads=self._node_loads,
+            fleet_tails=self._fleet_tails,
+            fleet_powers=self._fleet_powers,
+            total_energy=self._total_energy,
+            target_latency_ms=self._target,
+        )
+
+
+@dataclass(frozen=True, eq=False)
 class FleetOutcome:
-    """What a fleet run produced: one node outcome per fleet member."""
+    """What a fleet run produced, in aggregated (streamed) form.
+
+    Holds only fixed-size reductions -- per-node scalar arrays plus the
+    two per-interval fleet series -- never the per-node observation
+    tables; build one with :class:`FleetAccumulator` (or
+    :meth:`from_node_outcomes` when the outcomes are already in hand).
+    """
 
     spec: FleetSpec
-    nodes: tuple[ScenarioOutcome, ...]
+    node_powers_w: np.ndarray
+    node_qos: np.ndarray
+    node_utils: np.ndarray
+    node_loads: np.ndarray
+    fleet_tails: np.ndarray
+    fleet_powers: np.ndarray
+    total_energy: float
+    target_latency_ms: float
 
     def __post_init__(self) -> None:
-        if not self.nodes:
+        if len(self.node_powers_w) < 1:
             raise ValueError("a fleet outcome needs at least one node")
-        lengths = {len(outcome.result) for outcome in self.nodes}
-        if len(lengths) != 1:
-            raise ValueError(f"nodes ran unequal interval counts: {sorted(lengths)}")
+        for arr in (
+            self.node_powers_w,
+            self.node_qos,
+            self.node_utils,
+            self.node_loads,
+            self.fleet_tails,
+            self.fleet_powers,
+        ):
+            arr.flags.writeable = False
+
+    @classmethod
+    def from_node_outcomes(
+        cls, spec: FleetSpec, outcomes: "tuple[ScenarioOutcome, ...] | list"
+    ) -> "FleetOutcome":
+        """Aggregate already-materialized node outcomes, in node order."""
+        accumulator = FleetAccumulator(spec)
+        for index, outcome in enumerate(outcomes):
+            accumulator.add(index, outcome)
+        return accumulator.finish()
 
     # ------------------------------------------------------------------
     # per-node views
@@ -40,40 +201,23 @@ class FleetOutcome:
     @property
     def n_nodes(self) -> int:
         """Fleet size."""
-        return len(self.nodes)
-
-    @property
-    def node_results(self) -> tuple[ExperimentResult, ...]:
-        """Each node's raw experiment result, in node order."""
-        return tuple(outcome.result for outcome in self.nodes)
-
-    @property
-    def target_latency_ms(self) -> float:
-        """The workload QoS target (identical on every node)."""
-        return self.node_results[0].target_latency_ms
+        return len(self.node_powers_w)
 
     def node_mean_powers_w(self) -> np.ndarray:
         """Mean power per node, watts."""
-        return np.array([result.mean_power_w() for result in self.node_results])
+        return self.node_powers_w
 
     def node_qos_guarantees(self) -> np.ndarray:
         """Per-node QoS guarantee fractions."""
-        return np.array([result.qos_guarantee() for result in self.node_results])
+        return self.node_qos
 
     def node_mean_utilizations(self) -> np.ndarray:
         """Per-node mean queue utilization over the run."""
-        return np.array(
-            [
-                float(np.mean([o.mean_utilization for o in result]))
-                for result in self.node_results
-            ]
-        )
+        return self.node_utils
 
     def node_mean_loads(self) -> np.ndarray:
         """Per-node mean offered load (what the balancer assigned)."""
-        return np.array(
-            [float(np.mean(result.loads)) for result in self.node_results]
-        )
+        return self.node_loads
 
     # ------------------------------------------------------------------
     # fleet-level metrics
@@ -81,25 +225,25 @@ class FleetOutcome:
 
     def total_mean_power_w(self) -> float:
         """Aggregate fleet power draw, watts."""
-        return float(self.node_mean_powers_w().sum())
+        return float(self.node_powers_w.sum())
 
     def total_energy_j(self) -> float:
         """Total fleet energy over the run, joules."""
-        return float(sum(result.total_energy_j() for result in self.node_results))
+        return self.total_energy
 
     def fleet_tails_ms(self) -> np.ndarray:
         """Tail-of-tails per interval: the worst node's tail latency."""
-        return np.max([result.tails_ms for result in self.node_results], axis=0)
+        return self.fleet_tails
 
     def fleet_qos_guarantee(self) -> float:
         """Fraction of intervals in which *every* node met the target."""
-        return float(np.mean(self.fleet_tails_ms() <= self.target_latency_ms))
+        return float(np.mean(self.fleet_tails <= self.target_latency_ms))
 
     def fleet_qos_tardiness(self) -> float:
         """Mean tail-of-tails overshoot over violating intervals only
         (0.0 when nothing violates, matching the single-node
         :func:`repro.sim.latency.qos_tardiness` convention)."""
-        return qos_tardiness(self.fleet_tails_ms(), self.target_latency_ms)
+        return qos_tardiness(self.fleet_tails, self.target_latency_ms)
 
     def utilization_skew(self) -> float:
         """Coefficient of variation of per-node utilization.
@@ -107,7 +251,7 @@ class FleetOutcome:
         0 means the balancer spread work perfectly evenly; a
         consolidating policy (power-aware) runs high skew on purpose.
         """
-        utils = self.node_mean_utilizations()
+        utils = self.node_utils
         mean = float(np.mean(utils))
         if mean <= 0:
             return 0.0
@@ -115,29 +259,34 @@ class FleetOutcome:
 
     def fleet_powers_w(self) -> np.ndarray:
         """Aggregate fleet power per interval, watts."""
-        return np.sum([result.powers_w for result in self.node_results], axis=0)
+        return self.fleet_powers
 
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
 
     def render(self) -> str:
-        """The fleet report: headline metrics plus a per-node table."""
+        """The fleet report: headline metrics plus a per-node table.
+
+        Every cell reads a reduction that was computed exactly once at
+        aggregation time (the pre-streaming implementation recomputed
+        the per-node means twice: once for the table, once for the
+        skew)."""
         # Imported lazily: repro.experiments itself imports the fleet
         # package (fleet_scale), so a module-level import would cycle.
         from repro.experiments.reporting import ascii_table, series_block
 
         capacities = self.spec.node_capacities()
         rows = []
-        for index, result in enumerate(self.node_results):
+        for index in range(self.n_nodes):
             rows.append(
                 [
                     f"node{index:02d}",
                     f"{capacities[index]:.3f}",
-                    f"{float(np.mean(result.loads)) * 100:.1f}%",
-                    f"{result.qos_guarantee() * 100:.1f}%",
-                    f"{result.mean_power_w():.2f}W",
-                    f"{float(np.mean([o.mean_utilization for o in result])):.2f}",
+                    f"{self.node_loads[index] * 100:.1f}%",
+                    f"{self.node_qos[index] * 100:.1f}%",
+                    f"{self.node_powers_w[index]:.2f}W",
+                    f"{self.node_utils[index]:.2f}",
                 ]
             )
         return "\n".join(

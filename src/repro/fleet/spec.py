@@ -224,7 +224,10 @@ class FleetSpec:
                 ScenarioSpec(
                     workload=self.workload,
                     trace=TraceSpec.sampled(
-                        np.round(levels[:, index], 6),
+                        # tolist() keeps the same doubles but hands the
+                        # TraceSpec float-conversion loop Python floats,
+                        # which matters at 1024 nodes x 1400 intervals.
+                        np.round(levels[:, index], 6).tolist(),
                         interval_s=self.interval_s,
                     ),
                     manager=self.manager,
@@ -245,12 +248,19 @@ class FleetSpec:
     def run(self, runner: "BatchRunner | None" = None) -> "FleetOutcome":
         """Run every node through the batch layer and aggregate.
 
-        Node runs fan out across the runner's worker pool and land in its
-        fingerprint cache individually, so re-running a fleet after a
-        code or spec change only recomputes the nodes it affected.
+        Node runs fan out across the runner's worker pool and land in
+        its fingerprint cache individually, so re-running a fleet after
+        a code or spec change only recomputes the nodes it affected.
+        Outcomes stream through a :class:`~repro.fleet.aggregate.
+        FleetAccumulator` in completion order: each node is reduced to
+        its column aggregates and dropped, so fleet size is bounded by
+        the accumulator (and the runner's LRU tier), not by
+        ``n_nodes x n_intervals`` observation storage.
         """
-        from repro.fleet.aggregate import FleetOutcome
+        from repro.fleet.aggregate import FleetAccumulator
         from repro.sim.batch import get_runner
 
-        outcomes = get_runner(runner).run(self.node_specs())
-        return FleetOutcome(spec=self, nodes=tuple(outcomes))
+        accumulator = FleetAccumulator(self)
+        for index, outcome in get_runner(runner).iter_run(self.node_specs()):
+            accumulator.add(index, outcome)
+        return accumulator.finish()

@@ -123,7 +123,14 @@ class TaskManager(abc.ABC):
         """Choose the decision for the upcoming interval."""
 
     def observe(self, observation: "IntervalObservation") -> None:
-        """Digest the interval that just finished (optional)."""
+        """Digest the interval that just finished (optional).
+
+        The engine hands a lazily decoded row view
+        (:class:`~repro.sim.records.ObservationRowView`) with the same
+        attribute surface as :class:`~repro.sim.records.
+        IntervalObservation`; every field reads as a plain Python
+        scalar, so managers cannot tell the difference.
+        """
 
     def scenario_stats(self) -> dict[str, float | int]:
         """Manager-side statistics a scenario run should report.

@@ -24,9 +24,11 @@ from repro.sim.records import ExperimentResult
 
 DEFAULT_SEED = 2017
 
-#: Bump to invalidate every cached result when scenario semantics change
-#: in a way the queue-kernel version does not capture.
-SCHEMA_VERSION = 1
+#: Bump to invalidate every cached result when scenario semantics or the
+#: result storage format change in a way the queue-kernel version does
+#: not capture.  2 = columnar ObservationTable payloads (see
+#: ``repro.sim.records.STORAGE_VERSION``); 1 = tuple-of-dataclasses.
+SCHEMA_VERSION = 2
 
 #: Immutable parameter bag: sorted ``(key, value)`` pairs.
 Params = tuple[tuple[str, Any], ...]
@@ -62,6 +64,17 @@ def _freeze_value(value: Any) -> Any:
 def thaw_params(params: Params) -> dict[str, Any]:
     """The mutable-dict view of frozen parameters (one level deep)."""
     return dict(params)
+
+
+def cache_key_prefix() -> str:
+    """The version-legible prefix of every scenario cache key.
+
+    Keys are otherwise opaque hashes; the prefix lets the on-disk cache
+    recognize records stranded by a ``SCHEMA_VERSION``/``KERNEL_VERSION``
+    bump (they are never looked up again, but they *are* still the
+    latest record for their old key) and compact them away.
+    """
+    return f"s{SCHEMA_VERSION}-{KERNEL_VERSION}-"
 
 
 @dataclass(frozen=True)
@@ -297,7 +310,13 @@ class ScenarioSpec:
 
     def fingerprint(self) -> str:
         """Stable cache key: every run-affecting field plus the kernel
-        and schema versions (so code changes invalidate stale results)."""
+        and schema versions (so code changes invalidate stale results).
+
+        The key is prefixed with :func:`cache_key_prefix`, so the cache
+        can *see* which format generation a stored record belongs to --
+        that is what lets manifest compaction reclaim records stranded
+        by a version bump (the versions also fold into the hash, so the
+        prefix adds legibility, not uniqueness)."""
         payload = (
             SCHEMA_VERSION,
             KERNEL_VERSION,
@@ -313,7 +332,10 @@ class ScenarioSpec:
             self.seed,
             self.n_intervals,
         )
-        return hashlib.sha256(repr(payload).encode()).hexdigest()[:24]
+        return (
+            cache_key_prefix()
+            + hashlib.sha256(repr(payload).encode()).hexdigest()[:24]
+        )
 
     def describe(self) -> str:
         """Short human-readable identity for logs and progress output."""

@@ -1,6 +1,6 @@
 """Simulation substrate: queueing, contention, records, engine, batching."""
 
-from repro.sim.batch import BatchRunner
+from repro.sim.batch import BatchRunner, DiskCache
 from repro.sim.contention import ClusterPressure, ContentionModel, aggregate_pressure
 from repro.sim.engine import (
     DEFAULT_MAX_BACKLOG_S,
@@ -16,7 +16,13 @@ from repro.sim.latency import (
     summarize_latencies,
 )
 from repro.sim.queueing import DispatchQueue, IntervalQueueStats
-from repro.sim.records import ExperimentResult, IntervalObservation
+from repro.sim.records import (
+    STORAGE_VERSION,
+    ExperimentResult,
+    IntervalObservation,
+    ObservationRowView,
+    ObservationTable,
+)
 
 __all__ = [
     "BatchRunner",
@@ -24,10 +30,14 @@ __all__ = [
     "ContentionModel",
     "DEFAULT_MAX_BACKLOG_S",
     "DEFAULT_MIGRATION_PENALTY_S",
+    "DiskCache",
     "DispatchQueue",
     "EngineConfig",
     "ExperimentResult",
     "IntervalObservation",
+    "ObservationRowView",
+    "ObservationTable",
+    "STORAGE_VERSION",
     "IntervalQueueStats",
     "IntervalSimulator",
     "LatencySample",

@@ -7,9 +7,9 @@ scenario specs (:mod:`repro.scenarios`) and the per-run engine
 
 * deduplicates identical specs (figure grids often repeat a run),
 * serves previously computed results from a two-tier cache -- an
-  in-process LRU over an on-disk store -- keyed by the spec fingerprint
-  (which folds in the queue-kernel version, so code changes invalidate
-  stale entries),
+  in-process LRU over an on-disk :class:`DiskCache` -- keyed by the spec
+  fingerprint (which folds in the queue-kernel and schema versions, so
+  code or storage-format changes invalidate stale entries),
 * fans the remaining runs out over a **persistent**
   :class:`~concurrent.futures.ProcessPoolExecutor` that is created
   lazily on first use and reused across ``run()`` calls, so a whole
@@ -19,7 +19,9 @@ scenario specs (:mod:`repro.scenarios`) and the per-run engine
   ``as_completed`` using a spec cost model calibrated against
   ``BENCH_engine.json``, with cheap specs adaptively chunked so
   inter-process overhead amortizes, and
-* returns outcomes in input order.
+* returns outcomes in input order (:meth:`BatchRunner.run`) or streams
+  them in completion order (:meth:`BatchRunner.iter_run`, which the
+  fleet layer folds node-by-node without retaining the full batch).
 
 Completion order never affects results: every run is a pure function of
 its spec (per-spec-seed determinism), so serial, per-call-pool and
@@ -33,24 +35,39 @@ directory) plus a single append-only ``manifest.pack``.  The pack holds
 ``<key> <size>\\n<payload>`` records appended under an exclusive
 ``flock``; warm starts index it with one sequential scan instead of a
 per-key ``open``/``stat`` storm, and a truncated tail (crashed writer)
-is simply ignored.  Both tiers key on the fingerprint, so a
-queue-kernel or schema version bump invalidates both at once.
+is simply ignored.  Since the columnar storage overhaul a payload is a
+pickled :class:`~repro.scenarios.spec.ScenarioOutcome` whose result is
+a struct-of-arrays :class:`~repro.sim.records.ObservationTable` -- a
+couple dozen numpy buffers per run instead of thousands of per-interval
+dataclass objects, which is what made warm starts unpickle-bound.
+Legacy (pre-columnar) payloads fail their storage-version check on
+load and are treated as misses; the fingerprint's ``SCHEMA_VERSION``
+bump keeps them from being looked up in the first place.
+
+Because the pack is append-only, re-stored keys and version bumps
+strand dead bytes in it; :meth:`DiskCache.close` opportunistically
+**compacts** the pack (rewrites live records through an atomic
+``os.replace``) once the dead fraction crosses a threshold.  Appenders
+take the exclusive lock and re-verify the manifest inode afterwards, so
+racing appenders and a compacting closer cannot lose records.
 
 A runner should be closed when done (``close()`` or a ``with`` block)
-to shut its worker pool down; a serial runner never creates one.
+to shut its worker pool down and give the disk cache its compaction
+opportunity; a serial runner never creates a pool.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import re
 import tempfile
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, BinaryIO, Iterable, Iterator, Sequence
 
 try:  # pragma: no cover - POSIX only; appends stay atomic-ish elsewhere
     import fcntl
@@ -63,6 +80,11 @@ if TYPE_CHECKING:  # pragma: no cover - break the sim <-> scenarios cycle
 #: Name of the append-only manifest inside a cache directory.
 MANIFEST_NAME = "manifest.pack"
 
+#: Versioned cache keys look like ``s<schema>-<kernel>-<hash>`` (see
+#: ``repro.scenarios.spec.cache_key_prefix``); the schema number orders
+#: generations for stranded-record reclamation.
+_GENERATION_RE = re.compile(r"^s(\d+)-")
+
 #: Default capacity of the in-process LRU tier (entries); 0 disables it.
 DEFAULT_MEMORY_ENTRIES = 1024
 
@@ -72,6 +94,13 @@ DEFAULT_MEMORY_ENTRIES = 1024
 #: so an entry count alone is blind to an order of magnitude of memory).
 #: 0 disables the size bound.
 DEFAULT_MEMORY_OBSERVATIONS = 500_000
+
+#: Compaction trigger (see :meth:`DiskCache.close`): rewrite the pack
+#: when at least this many dead bytes have accumulated...
+COMPACT_MIN_DEAD_BYTES = 1 << 16
+
+#: ...and the dead bytes are at least this fraction of the pack.
+COMPACT_DEAD_FRACTION = 0.5
 
 #: Cost-model calibration, from the committed ``BENCH_engine.json``
 #: trajectory: the optimized engine runs ~16.5k intervals/s at 1k real
@@ -186,6 +215,416 @@ def plan_chunks(
 
 
 # ----------------------------------------------------------------------
+# on-disk tier
+# ----------------------------------------------------------------------
+
+
+class DiskCache:
+    """The on-disk outcome tier: per-key pickles plus the manifest pack.
+
+    Shared-directory safe: per-key files are written atomically
+    (``os.replace``) and pack appends happen under an exclusive
+    ``flock``.  :meth:`close` opportunistically compacts the pack --
+    dead bytes accumulate because the pack is append-only, so re-stored
+    keys (racing appenders duplicating work) and fingerprint-version
+    bumps strand superseded records in it forever otherwise.
+
+    Compaction coexists with racing appenders through an inode check:
+    every writer takes the pack lock and then verifies its file handle
+    still names ``manifest.pack`` (compaction swaps the inode via
+    ``os.replace``), reopening if not, so no append can land in an
+    orphaned pack.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        *,
+        live_prefix: str | None = None,
+        compact_min_dead_bytes: int = COMPACT_MIN_DEAD_BYTES,
+        compact_dead_fraction: float = COMPACT_DEAD_FRACTION,
+    ):
+        self.cache_dir = Path(cache_dir)
+        #: Keys of the current cache-format generation start with this
+        #: (see ``repro.scenarios.spec.cache_key_prefix``).  When set,
+        #: close-time maintenance reclaims *retired*-generation records
+        #: -- they are the latest record for their old key, so the
+        #: latest-wins index alone would keep them alive forever.
+        #: Retired means provably older: a key with no versioned prefix
+        #: at all (the pre-columnar era) or a strictly lower schema
+        #: number; keys of an equal-or-newer schema (e.g. a newer
+        #: checkout sharing the directory, or a same-schema kernel
+        #: variant whose ordering is unknowable) are left alone.
+        #: ``None`` compacts duplicates only.
+        self.live_prefix = live_prefix
+        match = _GENERATION_RE.match(live_prefix) if live_prefix else None
+        self._live_schema = int(match.group(1)) if match else None
+        self.compact_min_dead_bytes = compact_min_dead_bytes
+        self.compact_dead_fraction = compact_dead_fraction
+        self.compactions = 0
+        self.stranded_files_removed = 0
+        self._pack_index: dict[str, tuple[int, int]] | None = None
+        self._pack_read_fh: BinaryIO | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Run the maintenance pass and drop the long-lived read handle
+        (idempotent): compact the pack if it crossed the dead-bytes
+        threshold, and sweep per-key pickles stranded by a cache-format
+        version bump (their retired keys are never looked up again, so
+        the delete-corrupt-on-detection path can never reclaim them)."""
+        try:
+            self._maybe_compact()
+        except OSError:  # pragma: no cover - best-effort maintenance
+            pass
+        self._sweep_stranded_entries()
+        self._drop_read_state()
+
+    def _sweep_stranded_entries(self) -> None:
+        """Delete per-key pickles of retired cache-format generations.
+
+        Only meaningful with a ``live_prefix``; anything suffixed
+        ``.pkl`` whose stem is not of the current generation is a
+        cache entry no current key can ever name (compaction's pack
+        counterpart of the same reclamation).
+        """
+        if self.live_prefix is None:
+            return
+        try:
+            entries = list(self.cache_dir.iterdir())
+        except OSError:  # pragma: no cover - vanished cache dir
+            return
+        for path in entries:
+            if path.suffix != ".pkl" or not self._key_is_reclaimable(path.stem):
+                continue
+            try:
+                path.unlink()
+                self.stranded_files_removed += 1
+            except OSError:  # pragma: no cover - racing delete
+                pass
+
+    def _drop_read_state(self) -> None:
+        fh, self._pack_read_fh = self._pack_read_fh, None
+        self._pack_index = None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # -- paths ----------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        """The per-key pickle path for a fingerprint."""
+        return self.cache_dir / f"{key}.pkl"
+
+    @property
+    def manifest_path(self) -> Path:
+        """The append-only manifest pack path."""
+        return self.cache_dir / MANIFEST_NAME
+
+    # -- loads ----------------------------------------------------------
+
+    def load(self, key: str) -> "ScenarioOutcome | None":
+        """The cached outcome for a key, or ``None`` (pack tier first)."""
+        outcome = self._pack_load(key)
+        if outcome is None:
+            outcome = self._file_load(key)
+        return outcome
+
+    def _file_load(self, key: str) -> "ScenarioOutcome | None":
+        """The legacy per-key tier; deletes a corrupt or legacy-format
+        entry on detection so it is never re-parsed on the next warm
+        start."""
+        from repro.scenarios.spec import ScenarioOutcome
+
+        path = self.entry_path(key)
+        try:
+            with path.open("rb") as fh:
+                outcome = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:  # corrupt/stale/legacy entry: drop and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return outcome if isinstance(outcome, ScenarioOutcome) else None
+
+    # -- manifest pack --------------------------------------------------
+
+    @staticmethod
+    def _scan_pack(fh: BinaryIO) -> dict[str, tuple[int, int]]:
+        """Scan an open pack: key -> (payload offset, size).
+
+        Later records win (the pack is append-only); a malformed or
+        truncated tail ends the scan -- everything before it stays
+        usable, which is exactly what a crashed writer leaves behind.
+        """
+        index: dict[str, tuple[int, int]] = {}
+        file_size = os.fstat(fh.fileno()).st_size
+        fh.seek(0)
+        while True:
+            header = fh.readline()
+            if not header:
+                break
+            try:
+                key_bytes, size_bytes = header.split()
+                size = int(size_bytes)
+            except ValueError:
+                break
+            offset = fh.tell()
+            if size < 0 or offset + size > file_size:
+                break
+            index[key_bytes.decode("ascii", "replace")] = (offset, size)
+            fh.seek(offset + size)
+        return index
+
+    def _load_pack_index(self) -> dict[str, tuple[int, int]]:
+        """The cached pack index, scanning the manifest once if needed."""
+        if self._pack_index is not None:
+            return self._pack_index
+        try:
+            with self.manifest_path.open("rb") as fh:
+                index = self._scan_pack(fh)
+        except OSError:
+            index = {}
+        self._pack_index = index
+        return index
+
+    def _pack_load(self, key: str) -> "ScenarioOutcome | None":
+        """A key's outcome from the pack, stale-index safe.
+
+        Compaction (possibly by *another* process) moves payload
+        offsets, so a cached index may be stale.  A stale offset
+        usually yields a failed unpickle, but with same-sized records
+        it can land exactly on a different record's payload and decode
+        cleanly -- so every pack hit is identity-checked against its
+        key, and any mismatch or decode failure drops the cached index
+        and retries once against a fresh scan.
+        """
+        for attempt in range(2):
+            index = self._load_pack_index()
+            entry = index.get(key)
+            if entry is None:
+                return None
+            outcome = self._read_pack_entry(key, entry)
+            if outcome is not None:
+                return outcome
+            if attempt == 0:
+                # Corrupt record or stale offsets: rescan once.
+                self._drop_read_state()
+            else:
+                # Still bad against a fresh scan: genuinely corrupt.
+                # Evict just this key (keeping the rebuilt index) and
+                # let the per-key tier answer.
+                index.pop(key, None)
+        return None
+
+    def _read_pack_entry(
+        self, key: str, entry: tuple[int, int]
+    ) -> "ScenarioOutcome | None":
+        from repro.scenarios.spec import ScenarioOutcome
+
+        offset, size = entry
+        try:
+            # One long-lived read handle: a warm start costs one open
+            # plus seeks, not an open per key.
+            if self._pack_read_fh is None:
+                self._pack_read_fh = self.manifest_path.open("rb")
+            self._pack_read_fh.seek(offset)
+            payload = self._pack_read_fh.read(size)
+            outcome = pickle.loads(payload)
+        except Exception:  # corrupt record: fall through to other tiers
+            fh, self._pack_read_fh = self._pack_read_fh, None
+            if fh is not None:
+                try:
+                    fh.close()
+                except OSError:
+                    pass
+            return None
+        if not isinstance(outcome, ScenarioOutcome):
+            return None
+        try:
+            if outcome.spec.fingerprint() != key:
+                return None
+        except Exception:  # pragma: no cover - malformed spec payload
+            return None
+        return outcome
+
+    def _open_pack_locked(self, mode: str) -> BinaryIO:
+        """Open the manifest and take the exclusive lock, re-opening if
+        a concurrent compaction swapped the inode in between."""
+        while True:
+            fh = self.manifest_path.open(mode)
+            if fcntl is None:  # pragma: no cover - non-POSIX fallback
+                return fh
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            except OSError:  # pragma: no cover - e.g. ENOLCK on NFS
+                fh.close()
+                raise
+            try:
+                current = (
+                    os.fstat(fh.fileno()).st_ino
+                    == os.stat(self.manifest_path).st_ino
+                )
+            except OSError:  # pragma: no cover - racing dir mutation
+                current = True  # nothing better to re-open; use the handle
+            if current:
+                return fh
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            fh.close()
+
+    @staticmethod
+    def _unlock(fh: BinaryIO) -> None:
+        if fcntl is not None:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    # -- stores ---------------------------------------------------------
+
+    def store_many(self, payloads: Sequence[tuple[str, bytes]]) -> None:
+        """Persist pickled outcomes: per-key files plus pack appends."""
+        for key, payload in payloads:
+            self._file_store(key, payload)
+        self._pack_append_many(payloads)
+
+    def _file_store(self, key: str, payload: bytes) -> None:
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic write: a crashed/parallel writer must never leave a
+        # truncated pickle behind for a later run to trip over.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _pack_append_many(self, payloads: Sequence[tuple[str, bytes]]) -> None:
+        """Append records to the manifest under one exclusive lock."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        index = self._load_pack_index()
+        try:
+            fh = self._open_pack_locked("ab")
+            try:
+                fh.seek(0, os.SEEK_END)
+                for key, payload in payloads:
+                    fh.write(f"{key} {len(payload)}\n".encode("ascii"))
+                    offset = fh.tell()
+                    fh.write(payload)
+                    index[key] = (offset, len(payload))
+                fh.flush()
+            finally:
+                self._unlock(fh)
+                fh.close()
+        except OSError:
+            # The per-key tier already holds every outcome; losing the
+            # manifest only costs the next warm start some opens.
+            self._pack_index = None
+
+    # -- compaction -----------------------------------------------------
+
+    def dead_pack_bytes(self) -> tuple[int, int]:
+        """``(dead_bytes, file_size)`` of the pack right now."""
+        try:
+            with self.manifest_path.open("rb") as fh:
+                index = self._scan_pack(fh)
+                file_size = os.fstat(fh.fileno()).st_size
+        except OSError:
+            return 0, 0
+        return file_size - self._live_bytes(index), file_size
+
+    def _key_is_reclaimable(self, key: str) -> bool:
+        """Whether a key belongs to a provably *retired* generation.
+
+        True only for pre-versioned (bare-hash) keys and versioned keys
+        with a strictly lower schema number than ours; never for our
+        own prefix or an equal/newer schema (which may be a newer build
+        sharing the cache directory -- reclaiming those would wipe its
+        warm cache).
+        """
+        if self.live_prefix is None or key.startswith(self.live_prefix):
+            return False
+        if self._live_schema is None:  # unparseable custom prefix
+            return False
+        match = _GENERATION_RE.match(key)
+        if match is None:
+            return True  # pre-versioned (v1-era) key
+        return int(match.group(1)) < self._live_schema
+
+    def _live_bytes(self, index: dict[str, tuple[int, int]]) -> int:
+        return sum(
+            len(f"{key} {size}\n") + size
+            for key, (_, size) in index.items()
+            if not self._key_is_reclaimable(key)
+        )
+
+    def _maybe_compact(self) -> None:
+        """Rewrite the pack without its dead records, if worthwhile.
+
+        Dead bytes are superseded records (same key appended again, by
+        this or a racing runner), records stranded by a fingerprint
+        version bump (foreign ``live_prefix`` -- still the latest for
+        their retired key, but unreachable by any current lookup), and
+        any malformed tail.  The rewrite happens to a temp file that
+        atomically replaces the pack while the exclusive lock is held;
+        the index is re-scanned *under the lock* so records appended by
+        a racing runner since our last read are preserved.
+        """
+        if not self.manifest_path.exists():
+            return
+        fh = self._open_pack_locked("rb")
+        try:
+            index = self._scan_pack(fh)
+            file_size = os.fstat(fh.fileno()).st_size
+            dead = file_size - self._live_bytes(index)
+            if dead < self.compact_min_dead_bytes or dead < (
+                self.compact_dead_fraction * file_size
+            ):
+                self._pack_index = index
+                return
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                new_index: dict[str, tuple[int, int]] = {}
+                with os.fdopen(fd, "wb") as out:
+                    # Live records in offset order: stable and seek-free.
+                    for key, (offset, size) in sorted(
+                        index.items(), key=lambda item: item[1][0]
+                    ):
+                        if self._key_is_reclaimable(key):
+                            continue  # version-stranded: reclaim
+                        fh.seek(offset)
+                        payload = fh.read(size)
+                        out.write(f"{key} {size}\n".encode("ascii"))
+                        new_index[key] = (out.tell(), size)
+                        out.write(payload)
+                    out.flush()
+                    os.fsync(out.fileno())
+                os.replace(tmp, self.manifest_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.compactions += 1
+            # Offsets moved: drop the read handle, adopt the new index.
+            self._drop_read_state()
+            self._pack_index = new_index
+        finally:
+            self._unlock(fh)
+            fh.close()
+
+
+# ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
 
@@ -201,11 +640,12 @@ class BatchRunner:
         pool is created lazily on the first parallel batch and reused by
         every later :meth:`run` call until :meth:`close`.
     cache_dir:
-        Directory for the on-disk tier (per-key pickles plus the
-        append-only manifest pack); ``None`` keeps results only in the
-        in-process LRU.  Corrupt or unreadable entries are treated as
-        misses, and a corrupt per-key file is deleted on detection so it
-        is never re-parsed on the next warm start.
+        Directory for the on-disk tier (a :class:`DiskCache`: per-key
+        pickles plus the append-only manifest pack); ``None`` keeps
+        results only in the in-process LRU.  Corrupt, unreadable or
+        legacy-format entries are treated as misses, and a corrupt
+        per-key file is deleted on detection so it is never re-parsed on
+        the next warm start.
     memory_entries:
         Capacity of the in-process LRU tier; 0 disables it (every lookup
         then goes to disk, and duplicate specs across ``run()`` calls
@@ -235,14 +675,18 @@ class BatchRunner:
             raise ValueError("memory_entries must be >= 0")
         if self.memory_observations < 0:
             raise ValueError("memory_observations must be >= 0")
+        self._disk: DiskCache | None = None
         if self.cache_dir is not None:
+            from repro.scenarios.spec import cache_key_prefix
+
             self.cache_dir = Path(self.cache_dir)
+            self._disk = DiskCache(
+                self.cache_dir, live_prefix=cache_key_prefix()
+            )
         self._pool: ProcessPoolExecutor | None = None
         self._memory: OrderedDict[str, "ScenarioOutcome"] = OrderedDict()
         self._memory_weights: dict[str, int] = {}
         self._memory_weight = 0
-        self._pack_index: dict[str, tuple[int, int]] | None = None
-        self._pack_read_fh = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -253,17 +697,19 @@ class BatchRunner:
         """Workers in the live pool (0 while no pool exists)."""
         return 0 if self._pool is None else self.jobs
 
+    @property
+    def disk(self) -> DiskCache | None:
+        """The on-disk tier (``None`` without a ``cache_dir``)."""
+        return self._disk
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; the caches survive)."""
+        """Shut the worker pool down and close the disk tier, giving it
+        its compaction opportunity (idempotent; the caches survive)."""
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
-        fh, self._pack_read_fh = self._pack_read_fh, None
-        if fh is not None:
-            try:
-                fh.close()
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
+        if self._disk is not None:
+            self._disk.close()
 
     def __enter__(self) -> "BatchRunner":
         return self
@@ -291,6 +737,25 @@ class BatchRunner:
 
     def run(self, specs: Iterable["ScenarioSpec"]) -> list["ScenarioOutcome"]:
         """Execute every spec, in input order; duplicates run once."""
+        spec_list = list(specs)
+        results: list["ScenarioOutcome | None"] = [None] * len(spec_list)
+        for index, outcome in self.iter_run(spec_list):
+            results[index] = outcome
+        return results  # type: ignore[return-value]  # every index yielded
+
+    def iter_run(
+        self, specs: Iterable["ScenarioSpec"]
+    ) -> Iterator[tuple[int, "ScenarioOutcome"]]:
+        """Yield ``(input_index, outcome)`` pairs in completion order.
+
+        Every input index is yielded exactly once: cache hits
+        immediately, computed specs as their chunk completes, duplicate
+        indices right after their key resolves.  Unlike :meth:`run` this
+        never materializes the whole outcome list, so a streaming
+        consumer (the fleet aggregation fold) can reduce each outcome
+        and drop it -- only the in-process LRU (bounded by
+        ``memory_observations``) retains references.
+        """
         from repro.scenarios.spec import ScenarioSpec
 
         spec_list = list(specs)
@@ -299,25 +764,28 @@ class BatchRunner:
                 raise TypeError(f"expected ScenarioSpec, got {type(spec).__name__}")
         keys = [spec.fingerprint() for spec in spec_list]
 
-        outcomes: dict[str, ScenarioOutcome] = {}
-        pending: list[tuple[str, ScenarioSpec]] = []
-        pending_keys: set[str] = set()
+        positions: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            positions.setdefault(key, []).append(index)
+
+        pending: list[tuple[str, "ScenarioSpec"]] = []
+        seen: set[str] = set()
         for key, spec in zip(keys, spec_list):
-            if key in outcomes or key in pending_keys:
-                continue
+            if key in seen:
+                continue  # duplicate: probe the cache once per key
+            seen.add(key)
             cached = self._cache_load(key)
             if cached is not None:
-                outcomes[key] = cached
                 self.cache_hits += 1
+                for index in positions[key]:
+                    yield index, cached
             else:
                 pending.append((key, spec))
-                pending_keys.add(key)
                 self.cache_misses += 1
 
         for key, outcome in self._execute(pending):
-            outcomes[key] = outcome
-
-        return [outcomes[key] for key in keys]
+            for index in positions[key]:
+                yield index, outcome
 
     def results(self, specs: Iterable["ScenarioSpec"]):
         """Like :meth:`run` but unwrapped to bare ``ExperimentResult``s."""
@@ -378,14 +846,6 @@ class BatchRunner:
     # cache
     # ------------------------------------------------------------------
 
-    def _cache_path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return Path(self.cache_dir) / f"{key}.pkl"
-
-    def _manifest_path(self) -> Path:
-        assert self.cache_dir is not None
-        return Path(self.cache_dir) / MANIFEST_NAME
-
     def _memory_get(self, key: str) -> "ScenarioOutcome | None":
         if self.memory_entries == 0:
             return None
@@ -419,151 +879,27 @@ class BatchRunner:
         if outcome is not None:
             self.memory_hits += 1
             return outcome
-        if self.cache_dir is None:
+        if self._disk is None:
             return None
-        outcome = self._pack_load(key)
-        if outcome is None:
-            outcome = self._file_load(key)
+        outcome = self._disk.load(key)
         if outcome is not None:
             self.disk_hits += 1
             self._memory_put(key, outcome)
         return outcome
-
-    def _file_load(self, key: str) -> "ScenarioOutcome | None":
-        """The legacy per-key tier; deletes a corrupt entry on detection
-        so it is never re-parsed on the next warm start."""
-        from repro.scenarios.spec import ScenarioOutcome
-
-        path = self._cache_path(key)
-        try:
-            with path.open("rb") as fh:
-                outcome = pickle.load(fh)
-        except FileNotFoundError:
-            return None
-        except Exception:  # corrupt/stale entry: drop it and recompute
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        return outcome if isinstance(outcome, ScenarioOutcome) else None
-
-    # -- manifest pack --------------------------------------------------
-
-    def _load_pack_index(self) -> dict[str, tuple[int, int]]:
-        """Scan the manifest once: key -> (payload offset, size).
-
-        Later records win (the pack is append-only); a malformed or
-        truncated tail ends the scan -- everything before it stays
-        usable, which is exactly what a crashed writer leaves behind.
-        """
-        if self._pack_index is not None:
-            return self._pack_index
-        index: dict[str, tuple[int, int]] = {}
-        path = self._manifest_path()
-        try:
-            with path.open("rb") as fh:
-                file_size = os.fstat(fh.fileno()).st_size
-                while True:
-                    header = fh.readline()
-                    if not header:
-                        break
-                    try:
-                        key_bytes, size_bytes = header.split()
-                        size = int(size_bytes)
-                    except ValueError:
-                        break
-                    offset = fh.tell()
-                    if size < 0 or offset + size > file_size:
-                        break
-                    index[key_bytes.decode("ascii", "replace")] = (offset, size)
-                    fh.seek(offset + size)
-        except OSError:
-            pass
-        self._pack_index = index
-        return index
-
-    def _pack_load(self, key: str) -> "ScenarioOutcome | None":
-        from repro.scenarios.spec import ScenarioOutcome
-
-        entry = self._load_pack_index().get(key)
-        if entry is None:
-            return None
-        offset, size = entry
-        try:
-            # One long-lived read handle: a warm start costs one open
-            # plus seeks, not an open per key.
-            if self._pack_read_fh is None:
-                self._pack_read_fh = self._manifest_path().open("rb")
-            self._pack_read_fh.seek(offset)
-            payload = self._pack_read_fh.read(size)
-            outcome = pickle.loads(payload)
-        except Exception:  # corrupt record: fall through to other tiers
-            fh, self._pack_read_fh = self._pack_read_fh, None
-            if fh is not None:
-                try:
-                    fh.close()
-                except OSError:
-                    pass
-            return None
-        return outcome if isinstance(outcome, ScenarioOutcome) else None
 
     def _cache_store_many(
         self, items: Sequence[tuple[str, "ScenarioOutcome"]]
     ) -> None:
         for key, outcome in items:
             self._memory_put(key, outcome)
-        if self.cache_dir is None or not items:
+        if self._disk is None or not items:
             return
-        payloads = [
-            (key, pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
-            for key, outcome in items
-        ]
-        for key, payload in payloads:
-            self._file_store(key, payload)
-        self._pack_append_many(payloads)
-
-    def _file_store(self, key: str, payload: bytes) -> None:
-        path = self._cache_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic write: a crashed/parallel writer must never leave a
-        # truncated pickle behind for a later run to trip over.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def _pack_append_many(self, payloads: Sequence[tuple[str, bytes]]) -> None:
-        """Append records to the manifest under one exclusive lock."""
-        path = self._manifest_path()
-        path.parent.mkdir(parents=True, exist_ok=True)
-        index = self._load_pack_index()
-        try:
-            with path.open("ab") as fh:
-                if fcntl is not None:
-                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
-                try:
-                    fh.seek(0, os.SEEK_END)
-                    for key, payload in payloads:
-                        fh.write(f"{key} {len(payload)}\n".encode("ascii"))
-                        offset = fh.tell()
-                        fh.write(payload)
-                        index[key] = (offset, len(payload))
-                    fh.flush()
-                finally:
-                    if fcntl is not None:
-                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
-        except OSError:
-            # The per-key tier already holds every outcome; losing the
-            # manifest only costs the next warm start some opens.
-            self._pack_index = None
+        self._disk.store_many(
+            [
+                (key, pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
+                for key, outcome in items
+            ]
+        )
 
 
 def get_runner(runner: BatchRunner | None) -> BatchRunner:

@@ -35,9 +35,23 @@ Benchmark points
   through one live runner (a sweep iterating on an overlapping grid):
   the baseline re-reads all 64 outcomes from disk on every dispatch,
   the persistent runner answers from the LRU tier.
-* ``fleet-64/warm-start`` -- a fresh runner against a populated cache
-  directory (re-running after a restart): per-key ``open``/``stat``
-  storm vs one sequential manifest-pack scan.
+* ``fleet-64/warm-start`` -- a fresh runner against a cache directory
+  populated by its own side (re-running after a restart): per-key
+  ``open``/``stat`` storm over dataclass-tuple payloads vs one
+  sequential manifest-pack scan over columnar payloads.
+* ``fleet-64/warm-decode`` -- the warm-start read path in isolation:
+  decoding every node's cache payload, pre-columnar format (a pickled
+  tuple of per-interval ``IntervalObservation`` dataclasses, migrated
+  into the current columnar result on load) vs the struct-of-arrays
+  :class:`~repro.sim.records.ObservationTable` payload.
+
+The baseline preserves the pre-overhaul system end to end, *including
+its storage format*: :func:`encode_legacy_outcome` /
+:func:`decode_legacy_outcome` reproduce the dataclass-tuple payloads
+the pre-columnar cache pickled, which is what made warm starts
+unpickle-bound in the first place (see ROADMAP).  In-memory results are
+the current columnar type on both sides -- only the runner, dispatch
+strategy and at-rest format differ.
 
 Used by ``benchmarks/test_bench_batch.py`` (assertions + CI guard) and
 ``hipster-repro bench-batch`` (writes ``BENCH_batch.json``).
@@ -84,10 +98,62 @@ BENCH_REPORT_NAME = "BENCH_batch.json"
 #: Experiment-registry keys whose ``run()`` takes a workload argument.
 _WORKLOAD_EXPERIMENTS = frozenset({"fig2", "fig5", "fleet-scale"})
 
+#: Payload-decode sweeps per warm-decode measurement (timer resolution).
+DECODE_SWEEPS = 3
+
 
 # ----------------------------------------------------------------------
-# the preserved pre-overhaul runner (benchmark baseline)
+# the preserved pre-overhaul system (benchmark baseline)
 # ----------------------------------------------------------------------
+
+
+def encode_legacy_outcome(outcome: "ScenarioOutcome") -> bytes:
+    """Pickle an outcome the way the pre-columnar cache did.
+
+    The payload carries a tuple of per-interval
+    :class:`~repro.sim.records.IntervalObservation` dataclasses plus the
+    result metadata and manager stats -- thousands of small objects per
+    run, which is exactly what made warm-start reads unpickle-bound.
+    """
+    result = outcome.result
+    return pickle.dumps(
+        {
+            "spec": outcome.spec,
+            "manager_stats": outcome.manager_stats,
+            "workload_name": result.workload_name,
+            "manager_name": result.manager_name,
+            "target_latency_ms": result.target_latency_ms,
+            "interval_s": result.interval_s,
+            "observations": result.observations,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_legacy_outcome(payload: bytes) -> "ScenarioOutcome":
+    """Decode a pre-columnar payload into a usable outcome.
+
+    Unpickles the per-interval dataclasses (the pre-overhaul decode
+    cost) and migrates them into the current columnar result type (the
+    additional cost any legacy cache entry would pay to be served
+    today).
+    """
+    from repro.scenarios.spec import ScenarioOutcome
+    from repro.sim.records import ExperimentResult
+
+    state = pickle.loads(payload)
+    result = ExperimentResult(
+        state["observations"],
+        workload_name=state["workload_name"],
+        manager_name=state["manager_name"],
+        target_latency_ms=state["target_latency_ms"],
+        interval_s=state["interval_s"],
+    )
+    return ScenarioOutcome(
+        spec=state["spec"],
+        result=result,
+        manager_stats=state["manager_stats"],
+    )
 
 
 class PerCallPoolRunner:
@@ -97,8 +163,10 @@ class PerCallPoolRunner:
     :mod:`repro.sim.engine_reference` preserves the pre-optimization
     engine): a fresh ``ProcessPoolExecutor`` per ``run()`` call,
     order-preserving ``pool.map`` with chunksize 1, and an on-disk cache
-    of one pickle file per fingerprint with no in-memory tier and no
-    manifest.  Only used as the benchmark baseline.
+    of one pickle file per fingerprint with no in-memory tier, no
+    manifest and the pre-columnar dataclass-tuple payload format
+    (:func:`encode_legacy_outcome`).  Only used as the benchmark
+    baseline.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: str | Path | None = None):
@@ -132,6 +200,12 @@ class PerCallPoolRunner:
             self._cache_store(key, outcome)
         return [outcomes[key] for key in keys]
 
+    def iter_run(self, specs: Iterable["ScenarioSpec"]):
+        """Streaming-protocol shim: the pre-overhaul runner always
+        materialized the whole batch, so it yields from the full list
+        (faithfully keeping its all-outcomes-resident behaviour)."""
+        yield from enumerate(self.run(specs))
+
     def results(self, specs: Iterable["ScenarioSpec"]):
         return [outcome.result for outcome in self.run(specs)]
 
@@ -148,18 +222,15 @@ class PerCallPoolRunner:
         return [execute_scenario(spec) for spec in specs]
 
     def _cache_load(self, key: str) -> "ScenarioOutcome | None":
-        from repro.scenarios.spec import ScenarioOutcome
-
         if self.cache_dir is None:
             return None
         try:
-            with (self.cache_dir / f"{key}.pkl").open("rb") as fh:
-                outcome = pickle.load(fh)
+            payload = (self.cache_dir / f"{key}.pkl").read_bytes()
+            return decode_legacy_outcome(payload)
         except FileNotFoundError:
             return None
         except Exception:
             return None
-        return outcome if isinstance(outcome, ScenarioOutcome) else None
 
     def _cache_store(self, key: str, outcome: "ScenarioOutcome") -> None:
         if self.cache_dir is None:
@@ -169,7 +240,7 @@ class PerCallPoolRunner:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(encode_legacy_outcome(outcome))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -340,15 +411,19 @@ def measure_fleet_warm_start(
 
     Models ``hipster-repro`` re-invoked with ``--cache-dir`` after a
     code-free change: every outcome is already on disk, so the whole
-    run is the warm-start read path.
+    run is the warm-start read path.  Each side warms the cache with its
+    *own* runner so it reads its own storage format -- the baseline is
+    the whole pre-overhaul system (per-key open storm + dataclass-tuple
+    payload decode), the optimized side the current one (one manifest
+    scan + columnar payload decode).
     """
     specs = list(bench_fleet_spec(n_nodes).node_specs())
 
     def measure(side: str) -> tuple[float, int]:
         with tempfile.TemporaryDirectory() as cache_dir:
-            warmer = BatchRunner(jobs=BENCH_JOBS, cache_dir=cache_dir)
+            warmer = RUNNERS[side](jobs=BENCH_JOBS, cache_dir=cache_dir)
             try:
-                warmer.run(specs)  # populate both tiers (untimed)
+                warmer.run(specs)  # populate the side's tiers (untimed)
             finally:
                 warmer.close()
             runner = RUNNERS[side](jobs=BENCH_JOBS, cache_dir=cache_dir)
@@ -363,6 +438,42 @@ def measure_fleet_warm_start(
     return _paired(measure, f"fleet-{n_nodes}/warm-start", pairs)
 
 
+def measure_fleet_warm_decode(
+    pairs: int = DEFAULT_PAIRS, n_nodes: int = FLEET_NODES
+) -> BenchPointResult:
+    """``fleet-64/warm-decode``: cache payload decode in isolation.
+
+    The warm-start read path minus the filesystem: every node outcome
+    is encoded once in both at-rest formats, then each side is timed
+    decoding all of them (:data:`DECODE_SWEEPS` sweeps per measurement
+    for timer resolution).  The baseline decodes the pre-columnar
+    dataclass-tuple payloads *and* migrates them into the current
+    columnar result type -- what serving a legacy cache entry costs
+    today -- while the optimized side unpickles struct-of-arrays
+    tables.
+    """
+    specs = list(bench_fleet_spec(n_nodes).node_specs())
+    with BatchRunner(jobs=BENCH_JOBS) as runner:
+        outcomes = runner.run(specs)
+    columnar = [
+        pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+        for outcome in outcomes
+    ]
+    legacy = [encode_legacy_outcome(outcome) for outcome in outcomes]
+
+    def measure(side: str) -> tuple[float, int]:
+        payloads = legacy if side == "percall" else columnar
+        decode = decode_legacy_outcome if side == "percall" else pickle.loads
+        t0 = time.perf_counter()
+        for _ in range(DECODE_SWEEPS):
+            for payload in payloads:
+                decode(payload)
+        wall = time.perf_counter() - t0
+        return wall, DECODE_SWEEPS * len(payloads)
+
+    return _paired(measure, f"fleet-{n_nodes}/warm-decode", pairs)
+
+
 def measure_all(pairs: int = DEFAULT_PAIRS) -> dict[str, BenchPointResult]:
     """Measure every benchmark point, keyed for the JSON report."""
     results = [
@@ -370,6 +481,7 @@ def measure_all(pairs: int = DEFAULT_PAIRS) -> dict[str, BenchPointResult]:
         measure_fleet_cold(pairs),
         measure_fleet_warm_memory(pairs),
         measure_fleet_warm_start(pairs),
+        measure_fleet_warm_decode(pairs),
     ]
     return {result.key: result for result in results}
 
@@ -382,20 +494,24 @@ def measure_all(pairs: int = DEFAULT_PAIRS) -> dict[str, BenchPointResult]:
 def build_report(results: dict[str, BenchPointResult]) -> dict:
     """The ``BENCH_batch.json`` payload for a set of measurements."""
     return {
-        "schema": 1,
+        "schema": 2,
         "kernel_version": KERNEL_VERSION,
         "benchmark": (
             "batch-layer benchmark: spec batches dispatched through the "
             "persistent-pool BatchRunner (LJF scheduling, two-tier "
-            "cache) vs the preserved per-call-pool baseline "
-            "(repro.sim.bench_batch.PerCallPoolRunner), both at "
+            "cache, columnar ObservationTable cache payloads) vs the "
+            "preserved pre-overhaul baseline (repro.sim.bench_batch."
+            "PerCallPoolRunner: per-call pools, per-key files, "
+            "pre-columnar dataclass-tuple payloads), both at "
             f"jobs={BENCH_JOBS}"
         ),
         "protocol": (
             f"paired runs ({DEFAULT_PAIRS} pairs), speedup = median of "
             "per-pair wall-clock ratios, wall seconds = best over "
             f"pairs; warm-memory re-dispatches the batch "
-            f"{WARM_REDISPATCHES}x through one live runner"
+            f"{WARM_REDISPATCHES}x through one live runner; warm-start "
+            "warms each side with its own runner/format; warm-decode "
+            f"times {DECODE_SWEEPS} decode sweeps over every payload"
         ),
         "environment": {
             "python": platform_module.python_version(),

@@ -11,7 +11,7 @@ Each monitoring interval (1 s by default, Section 3.6) it:
    resulting per-core speeds (including contention slowdowns);
 4. integrates power over the interval and samples the perf counters
    (through the Juno-bug model);
-5. hands the manager an :class:`~repro.sim.records.IntervalObservation`.
+5. hands the manager a row view of the interval's observation record.
 
 Everything stochastic draws from a single seeded generator, so a run is a
 pure function of ``(platform, workload, trace, manager, seed)``.
@@ -51,7 +51,7 @@ from repro.policies.base import Decision, ManagerContext, TaskManager
 from repro.sim.contention import ContentionModel, aggregate_pressure_indexed
 from repro.sim.latency import linear_quantile
 from repro.sim.queueing import DispatchQueue, IntervalQueueStats
-from repro.sim.records import ExperimentResult, IntervalObservation
+from repro.sim.records import ExperimentResult, ObservationTable
 from repro.workloads.base import LatencyCriticalWorkload, lc_server_speeds_array
 from repro.workloads.batch import BatchJobSet
 
@@ -225,9 +225,14 @@ class IntervalSimulator:
             )
         )
 
-        observations = [self._run_interval(i) for i in range(total)]
+        # Struct-of-arrays result store: one preallocated typed column
+        # per observation field, appended in place each interval -- no
+        # per-interval dataclass construction on the hot path.
+        table = ObservationTable(total)
+        for i in range(total):
+            self._run_interval(i, table)
         return ExperimentResult(
-            observations,
+            table.freeze(),
             workload_name=self.workload.name,
             manager_name=self.manager.name,
             target_latency_ms=self.workload.target_latency_ms,
@@ -238,7 +243,7 @@ class IntervalSimulator:
     # one monitoring interval
     # ------------------------------------------------------------------
 
-    def _run_interval(self, index: int) -> IntervalObservation:
+    def _run_interval(self, index: int, table: ObservationTable) -> None:
         dt = self.config.interval_s
         t0 = index * dt
         t1 = t0 + dt
@@ -329,7 +334,7 @@ class IntervalSimulator:
 
         arrivals_real = stats.arrivals * self._sim_scale
         arrival_rps = arrivals_real / dt
-        observation = IntervalObservation(
+        table.append(
             index=index,
             t_start_s=t0,
             duration_s=dt,
@@ -357,8 +362,7 @@ class IntervalSimulator:
             shed_work_s=stats.shed_work_s / self._sim_scale,
             batch_instructions=batch_instructions,
         )
-        self.manager.observe(observation)
-        return observation
+        self.manager.observe(table.view(index))
 
     # ------------------------------------------------------------------
     # decision application (the non-fast path)

@@ -12,6 +12,7 @@ from repro.scenarios import ScenarioSpec, TraceSpec
 from repro.sim.batch import (
     MANIFEST_NAME,
     BatchRunner,
+    DiskCache,
     estimate_cost,
     get_runner,
     plan_chunks,
@@ -272,6 +273,253 @@ class TestCacheCorruption:
         second = warm.run(specs)
         assert warm.cache_hits == len(specs)
         assert_same_results(first, second)
+
+
+class TestManifestCompaction:
+    """DiskCache.close() rewrites the pack once dead bytes accumulate."""
+
+    def eager_cache(self, cache_dir) -> DiskCache:
+        """A cache that compacts on close as soon as any byte is dead."""
+        return DiskCache(
+            cache_dir, compact_min_dead_bytes=1, compact_dead_fraction=0.0
+        )
+
+    def read_pack_payload(self, cache_dir, key: str) -> bytes:
+        """A key's payload read straight from the pack (fresh index)."""
+        cache = DiskCache(cache_dir)
+        offset, size = cache._load_pack_index()[key]
+        with cache.manifest_path.open("rb") as fh:
+            fh.seek(offset)
+            return fh.read(size)
+
+    def test_duplicate_appends_compact_away_on_close(self, tmp_path):
+        cache = self.eager_cache(tmp_path)
+        payloads = [(f"key{i:02d}", f"payload-{i}".encode() * 20) for i in range(8)]
+        cache.store_many(payloads)
+        cache.store_many(payloads)  # racing-appender duplicates: all dead
+        dead_before, size_before = cache.dead_pack_bytes()
+        assert dead_before > 0
+        cache.close()
+        assert cache.compactions == 1
+        dead_after, size_after = DiskCache(tmp_path).dead_pack_bytes()
+        assert dead_after == 0
+        assert size_after < size_before
+        for key, payload in payloads:
+            assert self.read_pack_payload(tmp_path, key) == payload
+
+    def test_malformed_tail_counts_as_dead_and_is_dropped(self, tmp_path):
+        cache = self.eager_cache(tmp_path)
+        cache.store_many([("alive", b"x" * 64)])
+        with cache.manifest_path.open("ab") as fh:
+            fh.write(b"crashed-writer 999999\nhalf-a-payload")
+        cache.close()
+        assert cache.compactions == 1
+        assert self.read_pack_payload(tmp_path, "alive") == b"x" * 64
+        assert b"crashed-writer" not in cache.manifest_path.read_bytes()
+
+    def test_below_threshold_pack_left_untouched(self, tmp_path):
+        cache = DiskCache(tmp_path)  # default thresholds (64 KiB dead)
+        cache.store_many([(f"k{i}", b"y" * 100) for i in range(5)])
+        before = cache.manifest_path.read_bytes()
+        cache.close()
+        assert cache.compactions == 0
+        assert cache.manifest_path.read_bytes() == before
+
+    def test_all_dead_threshold_respects_fraction(self, tmp_path):
+        """A big pack with little dead weight is not worth rewriting."""
+        cache = DiskCache(
+            tmp_path, compact_min_dead_bytes=1, compact_dead_fraction=0.5
+        )
+        cache.store_many([(f"k{i}", b"z" * 1000) for i in range(10)])
+        cache.store_many([("k0", b"z" * 1000)])  # ~9% dead
+        cache.close()
+        assert cache.compactions == 0
+
+    def test_compacted_cache_still_serves_batch_runner(self, tmp_path):
+        """End to end: duplicate outcome appends, an eager close, then a
+        fresh runner warm-starts everything from the compacted pack."""
+        specs = tiny_specs()
+        runner = BatchRunner(cache_dir=tmp_path)
+        runner._disk.compact_min_dead_bytes = 1
+        runner._disk.compact_dead_fraction = 0.0
+        first = runner.run(specs)
+        # Duplicate the appends (what a racing runner doing the same
+        # sweep leaves behind), then close -> compaction.
+        import pickle as pickle_mod
+
+        runner._disk.store_many(
+            [
+                (
+                    spec.fingerprint(),
+                    pickle_mod.dumps(outcome, pickle_mod.HIGHEST_PROTOCOL),
+                )
+                for spec, outcome in zip(specs, first)
+            ]
+        )
+        assert runner.disk.dead_pack_bytes()[0] > 0
+        runner.close()
+        assert runner.disk.compactions == 1
+        for path in tmp_path.glob("*.pkl"):
+            path.unlink()  # pack-only warm start
+        warm = BatchRunner(cache_dir=tmp_path)
+        replay = warm.run(specs)
+        assert warm.cache_hits == len(specs) and warm.cache_misses == 0
+        assert_same_results(first, replay)
+
+    def test_version_stranded_records_reclaimed(self, tmp_path):
+        """Records from a retired cache-format generation are the
+        *latest* for their (old-prefix) key, so latest-wins indexing
+        alone would keep them alive forever; ``live_prefix`` lets
+        compaction classify and reclaim them."""
+        from repro.scenarios.spec import cache_key_prefix
+
+        prefix = cache_key_prefix()
+        cache = DiskCache(
+            tmp_path,
+            live_prefix=prefix,
+            compact_min_dead_bytes=1,
+            compact_dead_fraction=0.0,
+        )
+        stranded = [(f"s1-old-kernel-{i:024d}", b"old" * 50) for i in range(6)]
+        bare_v1 = [(f"{i:024d}", b"bare" * 40) for i in range(3)]
+        current = [(f"{prefix}{i:024d}", b"new" * 50) for i in range(4)]
+        # Equal-or-newer generations must survive: a same-schema kernel
+        # variant (ordering unknowable) and a newer build sharing the
+        # directory.
+        peers = [("s2-other-kernel-" + "9" * 24, b"peer" * 40)]
+        newer = [("s99-future-" + "8" * 24, b"next" * 40)]
+        cache.store_many(stranded)
+        cache.store_many(bare_v1)
+        cache.store_many(current)
+        cache.store_many(peers)
+        cache.store_many(newer)
+        dead, _ = cache.dead_pack_bytes()
+        assert dead > 0, "stranded records must count as dead"
+        cache.close()
+        assert cache.compactions == 1
+        index = DiskCache(tmp_path)._load_pack_index()
+        survivors = current + peers + newer
+        assert sorted(index) == sorted(key for key, _ in survivors)
+        for key, payload in survivors:
+            assert self.read_pack_payload(tmp_path, key) == payload
+
+    def test_stranded_per_key_files_swept_on_close(self, tmp_path):
+        """The per-key twins of version-stranded records leak too --
+        their retired keys are never looked up, so only the close-time
+        sweep can reclaim them; current-generation files survive."""
+        from repro.scenarios.spec import cache_key_prefix
+
+        prefix = cache_key_prefix()
+        old = tmp_path / "deadbeef00112233445566778899aabb.pkl"  # v1-era stem
+        old.write_bytes(b"legacy payload")
+        current = tmp_path / f"{prefix}{'0' * 24}.pkl"
+        current.write_bytes(b"current payload")
+        unrelated = tmp_path / "notes.txt"
+        unrelated.write_text("not a cache entry")
+        newer = tmp_path / f"s99-future-{'8' * 24}.pkl"
+        newer.write_bytes(b"a newer build's entry")
+        cache = DiskCache(tmp_path, live_prefix=prefix)
+        cache.close()
+        assert not old.exists()
+        assert current.exists() and unrelated.exists() and newer.exists()
+        assert cache.stranded_files_removed == 1
+        # Without a live_prefix (generic use) nothing is touched.
+        other = tmp_path / "whatever.pkl"
+        other.write_bytes(b"x")
+        DiskCache(tmp_path).close()
+        assert other.exists()
+
+    def test_runner_disk_cache_carries_current_prefix(self, tmp_path):
+        from repro.scenarios.spec import cache_key_prefix
+
+        runner = BatchRunner(cache_dir=tmp_path)
+        assert runner.disk.live_prefix == cache_key_prefix()
+        spec = tiny_specs()[0]
+        assert spec.fingerprint().startswith(cache_key_prefix())
+
+    def test_stale_index_after_foreign_compaction_serves_right_key(
+        self, tmp_path
+    ):
+        """A reader whose cached index predates another process's
+        compaction must never serve the wrong outcome.
+
+        Engineered worst case: equal-length keys and equal-sized
+        payloads, so the stale offset of one key lands exactly on the
+        other key's payload in the compacted pack and unpickles
+        cleanly -- only the identity check can catch it."""
+        import pickle as pickle_mod
+
+        spec_a, spec_b = tiny_specs()[:2]
+        key_a, key_b = spec_a.fingerprint(), spec_b.fingerprint()
+        outcome_a, outcome_b = BatchRunner().run([spec_a, spec_b])
+        raw_a = pickle_mod.dumps(outcome_a, pickle_mod.HIGHEST_PROTOCOL)
+        raw_b = pickle_mod.dumps(outcome_b, pickle_mod.HIGHEST_PROTOCOL)
+        # Pad to a common size: pickle.loads ignores trailing bytes, so
+        # both records stay decodable and perfectly aligned.
+        size = max(len(raw_a), len(raw_b))
+        payload_a, payload_b = raw_a.ljust(size, b"\0"), raw_b.ljust(size, b"\0")
+
+        writer = DiskCache(tmp_path)
+        writer.store_many([(key_a, payload_a)])  # dies at compaction...
+        writer.store_many([(key_b, payload_b)])
+        writer.store_many([(key_a, payload_a)])  # ...superseded by this
+        reader = DiskCache(tmp_path)
+        reader._load_pack_index()  # snapshot the pre-compaction offsets
+        self.eager_cache(tmp_path).close()  # foreign compaction
+
+        # Stale key_b offset == compacted key_a payload offset: without
+        # the identity check this returns outcome_a for key_b.
+        served = reader.load(key_b)
+        assert served is not None
+        assert served.spec.fingerprint() == key_b
+        assert served.result.observations == outcome_b.result.observations
+        also = reader.load(key_a)
+        assert also is not None and also.spec.fingerprint() == key_a
+
+    def test_racing_appenders_lose_nothing_to_compaction(self, tmp_path):
+        """Appenders running while another handle compacts: the inode
+        re-check after flock keeps every record reachable."""
+        errors: list[BaseException] = []
+        per_thread = 40
+
+        def append(thread_id: int):
+            try:
+                cache = DiskCache(tmp_path)
+                for i in range(per_thread):
+                    cache.store_many(
+                        [(f"t{thread_id}-{i:03d}", f"{thread_id}:{i}".encode())]
+                    )
+                cache.close()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def compact_repeatedly():
+            try:
+                for _ in range(25):
+                    compactor = self.eager_cache(tmp_path)
+                    # Dead weight so every close really rewrites.
+                    compactor.store_many([("churn", b"c" * 64)] * 2)
+                    compactor.close()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=append, args=(t,)) for t in range(3)
+        ] + [threading.Thread(target=compact_repeatedly)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        index = DiskCache(tmp_path)._load_pack_index()
+        for thread_id in range(3):
+            for i in range(per_thread):
+                key = f"t{thread_id}-{i:03d}"
+                assert key in index, f"{key} lost during compaction"
+                assert (
+                    self.read_pack_payload(tmp_path, key)
+                    == f"{thread_id}:{i}".encode()
+                )
 
 
 class TestConcurrentRunners:

@@ -191,7 +191,7 @@ class TestBenchSubcommand:
         out = tmp_path / "BENCH_batch.json"
         assert main(["bench-batch", "--output", str(out)]) == 0
         report = bb.load_report(out)
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["points"]["fleet-64/warm-memory"]["speedup"] == 12.0
         assert "12.00x" in capsys.readouterr().out
 

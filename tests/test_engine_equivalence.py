@@ -162,10 +162,37 @@ class TestEngineMatchesReference:
 
 
 class TestGoldenFingerprints:
-    """Pinned from the pre-refactor engine at commit b2d065f: byte-identity
-    with the seed across the refactor, not merely self-consistency."""
+    """Pinned golden result fingerprints: byte-identity with the seed
+    across refactors, not merely self-consistency.
+
+    Re-pinned exactly once, at the columnar storage-format bump
+    (``SCHEMA_VERSION`` 1 -> 2): every numeric *value* was verified
+    bit-identical against the pre-columnar engine (commit cbdd2d4), but
+    the repr-based hash also sees scalar container types, and typed
+    columns normalize those -- fields that happened to carry a Python
+    ``int`` zero (e.g. ``big_ips`` from ``sum(())`` in batch-free
+    intervals) or an ``np.float64`` now materialize uniformly as Python
+    floats.  The pre-bump hashes are kept in ``GOLDEN_V1`` to document
+    the re-pin."""
 
     GOLDEN = {
+        "fig01-hipster-in": (
+            "7eb29c68308c11bc27b86ef0e5c9e20bf3ef8b9c45c14eaad873e629c321681b"
+        ),
+        "diurnal-octopus-man": (
+            "f3d5df4a8d9447773108f70d5b5df7a4c39b312b458ef67bb858c2ea4d3b5baa"
+        ),
+        "collocation-websearch-lbm": (
+            "c4fb3e264f118721a6af1b098185dab217996a99ea27a42600bedadbe8f35dc9"
+        ),
+        "steady-cpuidle": (
+            "989a202ef2bd9f40213f1904404e851d566df9f626f7a9b41cf5b5d2374d3152"
+        ),
+    }
+
+    #: Dataclass-era pins (storage format 1, commit b2d065f) -- retired
+    #: at the format bump, retained as documentation of the migration.
+    GOLDEN_V1 = {
         "fig01-hipster-in": (
             "c0da99d853de1cf584002502dfdfb64d515416496b5fe0357ee1ef48ecb5c427"
         ),

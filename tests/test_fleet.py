@@ -13,7 +13,7 @@ from repro.fleet import (
     build_balancer,
     run_fleet,
 )
-from repro.fleet.balancer import MAX_NODE_LEVEL
+from repro.fleet.balancer import MAX_NODE_LEVEL, LoadBalancer
 from repro.loadgen.traces import SampledTrace
 from repro.scenarios import DEFAULT_REGISTRY, ScenarioSpec, TraceSpec
 from repro.sim.batch import BatchRunner
@@ -124,6 +124,58 @@ class TestBalancers:
             build_balancer("random")
 
 
+class TestClipVectorization:
+    """The row-subset cap redistribution is byte-identical to the
+    preserved full-matrix reference implementation."""
+
+    def test_real_balancer_splits_byte_identical(self):
+        rng = np.random.default_rng(123)
+        for trial in range(40):
+            n_nodes = int(rng.integers(1, 33))
+            n_intervals = int(rng.integers(1, 60))
+            spread = float(rng.choice([0.0, 0.08, 0.3]))
+            caps = np.round(1.0 + spread * rng.uniform(-1, 1, n_nodes), 6)
+            loads = np.round(rng.uniform(0.0, 1.5, n_intervals), 4)
+            # Pin some intervals to the 1.5 cap edge, where the
+            # capacity-weighted splits overflow and redistribution runs.
+            loads[rng.random(n_intervals) < 0.3] = 1.5
+            for name in sorted(BALANCER_FACTORIES):
+                vectorized = build_balancer(name).split(loads, caps)
+                with pytest.MonkeyPatch.context() as patch:
+                    patch.setattr(
+                        LoadBalancer, "_clip", LoadBalancer._clip_reference
+                    )
+                    reference = build_balancer(name).split(loads, caps)
+                assert vectorized.dtype == reference.dtype
+                assert np.array_equal(vectorized, reference), (
+                    f"{name}: vectorized split diverged from reference "
+                    f"(trial {trial})"
+                )
+
+    def test_raw_matrices_byte_identical(self):
+        """Direct _clip fuzz, including sub-threshold 'dust' excess the
+        reference still runs its redistribution arithmetic over."""
+        rng = np.random.default_rng(7)
+        balancer = build_balancer("round-robin")
+        for trial in range(200):
+            shape = (int(rng.integers(1, 40)), int(rng.integers(1, 20)))
+            raw = rng.uniform(-0.1, 2.2, shape)
+            dust = rng.random(shape) < 0.1
+            raw[dust] = (
+                MAX_NODE_LEVEL + 10.0 ** -rng.integers(13, 17, shape)[dust]
+            )
+            assert np.array_equal(
+                balancer._clip(raw.copy()), balancer._clip_reference(raw.copy())
+            ), f"trial {trial}"
+
+    def test_clip_leaves_input_unmutated(self):
+        balancer = build_balancer("round-robin")
+        raw = np.array([[2.0, 0.5], [0.1, 0.2]])
+        snapshot = raw.copy()
+        balancer._clip(raw)
+        np.testing.assert_array_equal(raw, snapshot)
+
+
 class TestFleetSpec:
     def test_frozen_picklable_fingerprinted(self):
         spec = tiny_fleet()
@@ -182,12 +234,18 @@ class TestFleetSpec:
 
 class TestFleetExecution:
     def test_serial_vs_parallel_identical(self):
+        """Streaming aggregation folds in node order regardless of pool
+        completion order, so serial and parallel fleets stay bitwise
+        identical in every aggregate."""
         spec = tiny_fleet(n_nodes=3)
         serial = spec.run(BatchRunner(jobs=1))
-        parallel = spec.run(BatchRunner(jobs=2))
+        with BatchRunner(jobs=2) as runner:
+            parallel = spec.run(runner)
         assert serial.render() == parallel.render()
-        for left, right in zip(serial.nodes, parallel.nodes):
-            assert left.result.observations == right.result.observations
+        np.testing.assert_array_equal(serial.fleet_tails, parallel.fleet_tails)
+        np.testing.assert_array_equal(serial.fleet_powers, parallel.fleet_powers)
+        np.testing.assert_array_equal(serial.node_powers_w, parallel.node_powers_w)
+        assert serial.total_energy_j() == parallel.total_energy_j()
 
     def test_warm_cache_replays_all_nodes(self, tmp_path):
         spec = tiny_fleet(n_nodes=3)
@@ -200,12 +258,14 @@ class TestFleetExecution:
         assert first.render() == second.render()
 
     def test_aggregates(self):
-        outcome = run_fleet(tiny_fleet(n_nodes=3))
+        fleet = tiny_fleet(n_nodes=3)
+        outcome = run_fleet(fleet)
         per_node = outcome.node_mean_powers_w()
         assert outcome.total_mean_power_w() == pytest.approx(per_node.sum())
-        # Tail-of-tails dominates every node's own tail.
+        # Tail-of-tails dominates every node's own tail (node results
+        # re-derived independently: the outcome no longer retains them).
         tails = outcome.fleet_tails_ms()
-        for result in outcome.node_results:
+        for result in BatchRunner().results(fleet.node_specs()):
             assert (tails >= result.tails_ms - 1e-12).all()
         # All-nodes-met is at most the weakest node's guarantee.
         assert outcome.fleet_qos_guarantee() <= (
@@ -223,6 +283,97 @@ class TestFleetExecution:
         assert "2 nodes" in report
         assert "tail-of-tails" in report
         assert "node01" in report
+
+
+class TestStreamingAggregation:
+    """The FleetAccumulator fold: order independence, bounded state."""
+
+    def node_outcomes(self, spec):
+        return BatchRunner().run(spec.node_specs())
+
+    def test_out_of_order_adds_match_in_order(self):
+        from repro.fleet import FleetAccumulator
+
+        spec = tiny_fleet(n_nodes=4)
+        outcomes = self.node_outcomes(spec)
+        ordered = FleetAccumulator(spec)
+        for index, outcome in enumerate(outcomes):
+            ordered.add(index, outcome)
+        shuffled = FleetAccumulator(spec)
+        for index in (2, 0, 3, 1):
+            shuffled.add(index, outcomes[index])
+        a, b = ordered.finish(), shuffled.finish()
+        assert a.render() == b.render()
+        np.testing.assert_array_equal(a.fleet_tails, b.fleet_tails)
+        np.testing.assert_array_equal(a.fleet_powers, b.fleet_powers)
+        assert a.total_energy_j() == b.total_energy_j()
+
+    def test_duplicate_and_out_of_range_adds_rejected(self):
+        from repro.fleet import FleetAccumulator
+
+        spec = tiny_fleet(n_nodes=2)
+        outcomes = self.node_outcomes(spec)
+        accumulator = FleetAccumulator(spec)
+        accumulator.add(0, outcomes[0])
+        with pytest.raises(ValueError, match="added twice"):
+            accumulator.add(0, outcomes[0])
+        with pytest.raises(IndexError, match="outside fleet"):
+            accumulator.add(5, outcomes[1])
+
+    def test_finish_requires_every_node(self):
+        from repro.fleet import FleetAccumulator
+
+        spec = tiny_fleet(n_nodes=3)
+        outcomes = self.node_outcomes(spec)
+        accumulator = FleetAccumulator(spec)
+        accumulator.add(0, outcomes[0])
+        with pytest.raises(ValueError, match="incomplete"):
+            accumulator.finish()
+
+    def test_unequal_interval_counts_rejected(self):
+        from repro.fleet import FleetAccumulator
+
+        spec = tiny_fleet(n_nodes=2)
+        outcomes = self.node_outcomes(spec)
+        short_spec = spec.node_specs()[1].with_(n_intervals=3)
+        short = BatchRunner().run_one(short_spec)
+        accumulator = FleetAccumulator(spec)
+        accumulator.add(0, outcomes[0])
+        with pytest.raises(ValueError, match="unequal interval counts"):
+            accumulator.add(1, short)
+
+    def test_outcome_retains_no_observations(self):
+        """The acceptance property: FleetOutcome holds fixed-size
+        reductions only -- no node outcome tuples, no observation
+        tables."""
+        outcome = run_fleet(tiny_fleet(n_nodes=2))
+        assert not hasattr(outcome, "nodes")
+        assert not hasattr(outcome, "node_results")
+        state = outcome.__dict__
+        leaked = [
+            name
+            for name, value in state.items()
+            if type(value).__name__ in ("ScenarioOutcome", "ExperimentResult")
+        ]
+        assert leaked == []
+        # Aggregation state is O(n_nodes + n_intervals).
+        assert outcome.node_powers_w.shape == (2,)
+        assert outcome.fleet_tails.ndim == 1
+
+    def test_256_node_fleet_completes_with_streaming_aggregator(self):
+        """A fleet size that used to be memory-bound: every aggregate
+        is finite and per-node arrays span the whole fleet."""
+        spec = tiny_fleet(
+            n_nodes=256, trace=TraceSpec.constant(0.5, 6.0), seed=11
+        )
+        outcome = run_fleet(spec)
+        assert outcome.n_nodes == 256
+        assert outcome.node_powers_w.shape == (256,)
+        assert np.isfinite(outcome.node_powers_w).all()
+        assert np.isfinite(outcome.fleet_tails_ms()).all()
+        assert outcome.total_mean_power_w() > 0
+        assert 0.0 <= outcome.fleet_qos_guarantee() <= 1.0
+        assert "node255" in outcome.render()
 
 
 class TestFleetFamilies:
