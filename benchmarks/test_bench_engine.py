@@ -31,7 +31,10 @@ import pytest
 from repro.sim.bench import (
     BENCH_POINTS,
     BENCH_REPORT_NAME,
+    EPOCH_POINTS,
+    epoch_point_key,
     load_report,
+    measure_epoch_point,
     measure_point,
     point_key,
 )
@@ -43,6 +46,11 @@ MIN_SPEEDUP = 2.0
 
 #: Soft guard: fraction of the committed speedup that must be retained.
 REGRESSION_TOLERANCE = 0.75
+
+#: Hard floor on the decision-epoch fast path over the scalar loop,
+#: asserted on the steady-config point (the epoch path's weakest regime
+#: that still batches; the trough points run well above it).
+EPOCH_MIN_SPEEDUP = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -72,6 +80,45 @@ def test_engine_speedup(arrivals, collocate, committed_report):
             f"{key}: speedup {result.speedup:.2f}x dropped >25% below the "
             f"committed baseline {committed:.2f}x (floor {floor:.2f}x) -- "
             f"engine hot-path regression"
+        )
+
+
+@pytest.mark.parametrize(
+    "name,arrivals",
+    EPOCH_POINTS,
+    ids=[epoch_point_key(n, a) for n, a in EPOCH_POINTS],
+)
+def test_epoch_fast_path_speedup(name, arrivals, committed_report):
+    """Decision-epoch path vs the scalar loop of the same engine.
+
+    The hard floor applies to the steady-config point only -- trough
+    points swing more with machine noise, so they rely on the soft
+    guard against the committed trajectory (and on the committed
+    numbers being well above the floor).
+    """
+    result = measure_epoch_point(name, arrivals, n_intervals=1_000, pairs=5)
+    key = epoch_point_key(name, arrivals)
+    print(
+        f"\n{key}: {result.reference_ips:.0f} -> {result.optimized_ips:.0f} "
+        f"intervals/s ({result.speedup:.2f}x)"
+    )
+    if name == "steady":
+        assert result.speedup >= EPOCH_MIN_SPEEDUP, (
+            f"{key}: epoch fast path only {result.speedup:.2f}x over the "
+            f"scalar interval loop"
+        )
+    else:
+        assert result.speedup > 1.0, (
+            f"{key}: epoch fast path is not faster than the scalar loop "
+            f"({result.speedup:.2f}x)"
+        )
+    committed = (committed_report or {}).get("points", {}).get(key)
+    if committed is not None:
+        floor = committed["speedup"] * REGRESSION_TOLERANCE
+        assert result.speedup >= floor, (
+            f"{key}: speedup {result.speedup:.2f}x dropped >25% below the "
+            f"committed baseline {committed['speedup']:.2f}x "
+            f"(floor {floor:.2f}x) -- epoch-path regression"
         )
 
 

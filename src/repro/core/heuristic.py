@@ -126,3 +126,8 @@ class HipsterHeuristicPolicy(TaskManager):
         self._machine.step(
             observation.tail_latency_ms, self.ctx.workload.target_latency_ms
         )
+
+    def stable_horizon(self, offered_loads) -> int:
+        # Tail-latency feedback: future decisions are unprovable from the
+        # trace, so the policy stays on the scalar path (explicit pin).
+        return 1

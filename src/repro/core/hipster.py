@@ -225,6 +225,12 @@ class Hipster(TaskManager):
         )
         return resolve_decision(self.ctx.platform, config, collocate_batch=collocate)
 
+    def stable_horizon(self, offered_loads) -> int:
+        # The learner consumes rewards (and rng during exploration) every
+        # interval; no epoch is provable, so the scalar path stays in
+        # charge (explicit pin of the TaskManager default).
+        return 1
+
     def _choose(self) -> tuple[Configuration, int]:
         assert self._table is not None and self._machine is not None
         bucket = self._current_bucket

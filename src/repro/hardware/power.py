@@ -200,6 +200,33 @@ class EnergyMeter:
         self._rest_j += breakdown.rest_w * duration_s
         self._elapsed_s += duration_s
 
+    def record_many(self, big_w, small_w, rest_w, duration_s: float) -> None:
+        """Integrate many equal-length intervals of constant power.
+
+        Equivalent to calling :meth:`record` once per entry, in order --
+        the accumulation stays a sequential scalar ``+=`` per channel so
+        the counters are bit-identical to the one-at-a-time path (the
+        engine's epoch fast path depends on that).
+        """
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        big_j = self._big_j
+        small_j = self._small_j
+        rest_j = self._rest_j
+        elapsed = self._elapsed_s
+        big_list = np.asarray(big_w, dtype=float).tolist()
+        small_list = np.asarray(small_w, dtype=float).tolist()
+        rest_list = np.asarray(rest_w, dtype=float).tolist()
+        for b, s, r in zip(big_list, small_list, rest_list):
+            big_j += b * duration_s
+            small_j += s * duration_s
+            rest_j += r * duration_s
+            elapsed += duration_s
+        self._big_j = big_j
+        self._small_j = small_j
+        self._rest_j = rest_j
+        self._elapsed_s = elapsed
+
     def read(self) -> dict[str, float]:
         """Cumulative energy per channel, joules."""
         return {

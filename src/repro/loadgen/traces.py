@@ -15,6 +15,8 @@ import abc
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 
 class LoadTrace(abc.ABC):
     """Offered load over time, as a fraction of the workload maximum."""
@@ -26,6 +28,18 @@ class LoadTrace(abc.ABC):
     def load_at(self, t: float) -> float:
         """Offered load fraction at time ``t`` (clamped to the trace)."""
 
+    def load_at_many(self, times: "Sequence[float] | np.ndarray") -> np.ndarray:
+        """Vectorized :meth:`load_at` over many query times.
+
+        The engine reads a whole run's interval-midpoint loads through
+        this once, up front (the decision-epoch fast path needs the
+        lookahead; the scalar path indexes the same array).  The default
+        delegates per element, so every float is :meth:`load_at`'s own;
+        trace classes overriding it with batched arithmetic must return
+        bit-identical values, which ``tests/test_loadgen.py`` pins.
+        """
+        return np.array([self.load_at(float(t)) for t in times], dtype=float)
+
     def n_intervals(self, interval_s: float = 1.0) -> int:
         """Number of whole monitoring intervals the trace covers."""
         if interval_s <= 0:
@@ -36,6 +50,13 @@ class LoadTrace(abc.ABC):
         if t < 0:
             raise ValueError("time must be non-negative")
         return min(t, self.duration_s)
+
+    def _check_many(self, times: "Sequence[float] | np.ndarray") -> np.ndarray:
+        """Vectorized :meth:`_check`: validate then clamp to the trace."""
+        times = np.asarray(times, dtype=float)
+        if times.size and float(times.min()) < 0:
+            raise ValueError("time must be non-negative")
+        return np.minimum(times, self.duration_s)
 
 
 @dataclass(frozen=True)
@@ -54,6 +75,10 @@ class ConstantTrace(LoadTrace):
     def load_at(self, t: float) -> float:
         self._check(t)
         return self.level
+
+    def load_at_many(self, times) -> np.ndarray:
+        checked = self._check_many(times)
+        return np.full(checked.shape, self.level, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -82,6 +107,17 @@ class StepTrace(LoadTrace):
             if t < elapsed:
                 return level
         return self.steps[-1][1]
+
+    def load_at_many(self, times) -> np.ndarray:
+        t = self._check_many(times)
+        # cumsum accumulates left to right, exactly the scalar loop's
+        # ``elapsed`` values; side="right" finds the first bound > t,
+        # i.e. the first step whose ``t < elapsed`` test passes.
+        bounds = np.cumsum([d for d, _ in self.steps])
+        idx = np.minimum(
+            np.searchsorted(bounds, t, side="right"), len(self.steps) - 1
+        )
+        return np.asarray([level for _, level in self.steps], dtype=float)[idx]
 
 
 @dataclass(frozen=True)
@@ -173,6 +209,13 @@ class SampledTrace(LoadTrace):
         t = self._check(t)
         index = min(int(t / self.interval_s), len(self.levels) - 1)
         return self.levels[index]
+
+    def load_at_many(self, times) -> np.ndarray:
+        t = self._check_many(times)
+        idx = np.minimum(
+            (t / self.interval_s).astype(np.int64), len(self.levels) - 1
+        )
+        return np.asarray(self.levels, dtype=float)[idx]
 
 
 @dataclass(frozen=True)

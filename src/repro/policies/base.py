@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.hardware.soc import Platform
 from repro.hardware.topology import Configuration, validate_configuration
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim <-> policies import cycle
     from repro.sim.records import IntervalObservation
@@ -131,6 +131,51 @@ class TaskManager(abc.ABC):
         IntervalObservation`; every field reads as a plain Python
         scalar, so managers cannot tell the difference.
         """
+
+    # ------------------------------------------------------------------
+    # epoch fast-path contract (optional)
+    # ------------------------------------------------------------------
+    #
+    # The engine's decision-epoch fast path evaluates a run of intervals
+    # in one vectorized pass *without* calling decide()/observe() at each
+    # boundary, replaying observe() once the epoch commits.  A manager
+    # opts in by overriding BOTH hooks below; doing so promises that
+    #
+    # * decide() and observe() are pure and rng-free: decide() depends
+    #   only on state that observe() derives from the previous interval's
+    #   ``measured_load``, so deferred observe() replay is invisible;
+    # * epoch_continue(m) returns True only if, after observing a
+    #   measured load of ``m``, the next decide() would return a decision
+    #   equal to the one already applied.
+    #
+    # Feedback-driven policies (Octopus-Man's ladder, Hipster's learner)
+    # react to tail latency and must keep the defaults: a horizon of one
+    # interval and no continuation, which pins them to the scalar path.
+
+    def stable_horizon(self, offered_loads: "Sequence[float]") -> int:
+        """Upper bound on upcoming intervals with a provably equal decision.
+
+        Called right after :meth:`decide`, with the deterministic trace
+        lookahead ``offered_loads`` (one offered-load fraction per
+        upcoming interval, the current one first).  The returned horizon
+        is a *hint* capping the epoch length; the epoch still validates
+        every step through :meth:`epoch_continue` before drawing the
+        next interval, because decisions may feed on the stochastic
+        measured load rather than the offered one.  The default claims
+        nothing, keeping the manager on the scalar path.
+        """
+        return 1
+
+    def epoch_continue(self, measured_load: float) -> bool:
+        """Whether the applied decision survives observing ``measured_load``.
+
+        The engine calls this after drawing each epoch interval's
+        arrivals (``measured_load`` is a pure function of the drawn
+        arrival count) and *before* drawing the next interval, so a
+        ``False`` simply ends the epoch with no rollback -- the rng
+        stream never runs ahead of a validated decision.
+        """
+        return False
 
     def scenario_stats(self) -> dict[str, float | int]:
         """Manager-side statistics a scenario run should report.

@@ -164,3 +164,10 @@ class OctopusMan(TaskManager):
         self._machine.step(
             observation.tail_latency_ms, self.ctx.workload.target_latency_ms
         )
+
+    def stable_horizon(self, offered_loads) -> int:
+        # The ladder reacts to measured tail latency (EWMA feedback), so
+        # no future decision is provable from the trace alone: stay on
+        # the engine's scalar path.  Kept explicit rather than inherited
+        # so the contract choice is visible at the policy.
+        return 1

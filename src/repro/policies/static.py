@@ -44,6 +44,14 @@ class StaticPolicy(TaskManager):
             )
         return self._decision
 
+    def stable_horizon(self, offered_loads) -> int:
+        # A static mapping never changes its mind: the whole remaining
+        # run is one decision epoch.
+        return len(offered_loads)
+
+    def epoch_continue(self, measured_load: float) -> bool:
+        return True
+
 
 def static_all_big(
     platform: Platform, *, collocate_batch: bool = False

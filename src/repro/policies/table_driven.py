@@ -45,6 +45,7 @@ class TableDrivenPolicy(TaskManager):
         self._collocate = collocate_batch
         self.name = name
         self._last_load = 0.0
+        self._decided_config: Configuration | None = None
 
     def config_for(self, load: float) -> Configuration:
         """Configuration prescribed for an offered load fraction."""
@@ -55,9 +56,28 @@ class TableDrivenPolicy(TaskManager):
 
     def decide(self) -> Decision:
         config = self.config_for(self._last_load)
+        self._decided_config = config
         return resolve_decision(
             self.ctx.platform, config, collocate_batch=self._collocate
         )
 
     def observe(self, observation: "IntervalObservation") -> None:
         self._last_load = observation.measured_load
+
+    def stable_horizon(self, offered_loads) -> int:
+        # The prefix of the (deterministic) trace lookahead that maps to
+        # the decided configuration's load bucket.  Only a hint: decide()
+        # feeds on *measured* load, so every epoch step is re-validated
+        # against the drawn arrivals through epoch_continue().
+        config = self._decided_config
+        horizon = 0
+        for load in offered_loads:
+            if self.config_for(float(load)) is not config:
+                break
+            horizon += 1
+        return max(horizon, 1)
+
+    def epoch_continue(self, measured_load: float) -> bool:
+        # The table holds one Configuration object per bucket, so bucket
+        # stability is object identity of the lookup result.
+        return self.config_for(measured_load) is self._decided_config

@@ -50,9 +50,28 @@ BENCH_POINTS: tuple[tuple[int, bool], ...] = (
     (10_000, True),
 )
 
+#: The epoch fast-path grid: (regime name, real arrivals per interval).
+#: Decision-stable workloads where the scalar interval loop is compared
+#: against the decision-epoch batched path of the *same* engine: the
+#: diurnal-trough regime (tens to low hundreds of real arrivals per
+#: interval, where per-interval Python overhead dominates) and the
+#: steady mid-rate regime.  High-arrival points are deliberately absent:
+#: there the engine's load gate keeps the scalar path (see
+#: ``_EPOCH_MIN_INTERVALS`` in :mod:`repro.sim.engine`).
+EPOCH_POINTS: tuple[tuple[str, int], ...] = (
+    ("trough", 30),
+    ("trough", 100),
+    ("steady", 1_000),
+)
+
 #: Default measurement effort (per benchmark point).
 DEFAULT_INTERVALS = 300
 DEFAULT_PAIRS = 5
+
+#: Epoch points use longer runs: the epoch path's fixed per-run costs
+#: amortize over whole decision-stable runs, which is exactly the
+#: sweep-scale regime it accelerates.
+EPOCH_INTERVALS = 2_000
 
 #: Where the committed trajectory lives, relative to the repo root.
 BENCH_REPORT_NAME = "BENCH_engine.json"
@@ -63,12 +82,42 @@ def point_key(arrivals: int, collocate: bool) -> str:
     return f"arrivals={arrivals}/collocation={'on' if collocate else 'off'}"
 
 
+def epoch_point_key(name: str, arrivals: int) -> str:
+    """Stable JSON key for one epoch fast-path benchmark point."""
+    return f"epoch/{name}/arrivals={arrivals}"
+
+
 @dataclass(frozen=True)
 class BenchPointResult:
     """Measured numbers for one benchmark point."""
 
     arrivals: int
     collocate: bool
+    reference_ips: float
+    optimized_ips: float
+    speedup: float
+
+    def as_json(self) -> dict:
+        return {
+            "reference_intervals_per_sec": round(self.reference_ips, 1),
+            "optimized_intervals_per_sec": round(self.optimized_ips, 1),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+@dataclass(frozen=True)
+class EpochPointResult:
+    """Measured numbers for one epoch fast-path point.
+
+    ``reference`` is the scalar interval loop of the *current* engine
+    (``EngineConfig(epoch_fast_path=False)``), i.e. the PR 3 optimized
+    path; ``optimized`` is the same engine with the decision-epoch
+    batched path enabled.  JSON field names match
+    :class:`BenchPointResult` so report consumers treat both uniformly.
+    """
+
+    name: str
+    arrivals: int
     reference_ips: float
     optimized_ips: float
     speedup: float
@@ -137,20 +186,75 @@ def measure_point(
     )
 
 
+def _one_epoch_run(arrivals: int, n_intervals: int, *, epoch: bool) -> float:
+    """One timed scalar-or-epoch engine run; returns intervals/sec."""
+    from repro.hardware.juno import juno_r1
+    from repro.loadgen.traces import ConstantTrace
+    from repro.policies.static import static_all_big
+    from repro.sim.engine import EngineConfig, run_experiment
+    from repro.workloads.memcached import memcached
+
+    workload = memcached()
+    load = arrivals / workload.max_load_rps
+    platform = juno_r1()
+    t0 = time.perf_counter()
+    run_experiment(
+        platform,
+        workload,
+        ConstantTrace(load, n_intervals),
+        static_all_big(platform),
+        engine_config=EngineConfig(epoch_fast_path=epoch),
+        seed=3,
+    )
+    return n_intervals / (time.perf_counter() - t0)
+
+
+def measure_epoch_point(
+    name: str,
+    arrivals: int,
+    *,
+    n_intervals: int = EPOCH_INTERVALS,
+    pairs: int = DEFAULT_PAIRS,
+) -> EpochPointResult:
+    """Paired scalar/epoch measurement of one fast-path point."""
+    ratios: list[float] = []
+    best_ref = 0.0
+    best_opt = 0.0
+    for _ in range(pairs):
+        ref = _one_epoch_run(arrivals, n_intervals, epoch=False)
+        opt = _one_epoch_run(arrivals, n_intervals, epoch=True)
+        ratios.append(opt / ref)
+        best_ref = max(best_ref, ref)
+        best_opt = max(best_opt, opt)
+    return EpochPointResult(
+        name=name,
+        arrivals=arrivals,
+        reference_ips=best_ref,
+        optimized_ips=best_opt,
+        speedup=statistics.median(ratios),
+    )
+
+
 def measure_all(
     *, n_intervals: int = DEFAULT_INTERVALS, pairs: int = DEFAULT_PAIRS
-) -> dict[str, BenchPointResult]:
-    """Measure every benchmark point; keys from :func:`point_key`."""
-    return {
+) -> dict[str, BenchPointResult | EpochPointResult]:
+    """Measure every benchmark point; keys from :func:`point_key` and
+    :func:`epoch_point_key`."""
+    results: dict[str, BenchPointResult | EpochPointResult] = {
         point_key(arrivals, collocate): measure_point(
             arrivals, collocate, n_intervals=n_intervals, pairs=pairs
         )
         for arrivals, collocate in BENCH_POINTS
     }
+    for name, arrivals in EPOCH_POINTS:
+        results[epoch_point_key(name, arrivals)] = measure_epoch_point(
+            name, arrivals, pairs=pairs
+        )
+    return results
 
 
 def build_report(
-    results: dict[str, BenchPointResult],
+    results: dict[str, BenchPointResult | EpochPointResult],
 ) -> dict:
     """The ``BENCH_engine.json`` payload for a set of measurements."""
     return {
@@ -160,11 +264,14 @@ def build_report(
             "interval-engine microbenchmark: memcached (sim_scale=25), "
             "static-big manager, constant load of N real arrivals per "
             "1 s interval; reference = pre-optimization engine "
-            "(repro.sim.engine_reference)"
+            "(repro.sim.engine_reference); epoch/* points compare the "
+            "current engine's scalar interval loop against its "
+            "decision-epoch batched path"
         ),
         "protocol": (
             f"paired runs ({DEFAULT_PAIRS} pairs x {DEFAULT_INTERVALS} "
-            "intervals), speedup = median of per-pair ratios, "
+            f"intervals; epoch/* points {EPOCH_INTERVALS} intervals), "
+            "speedup = median of per-pair ratios, "
             "intervals/sec = best over pairs"
         ),
         "environment": {

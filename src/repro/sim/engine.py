@@ -32,6 +32,19 @@ The optimization is implementation-only: the rng stream and every
 observation are bit-identical to the reference implementation preserved
 in :mod:`repro.sim.engine_reference`, which the equivalence tests
 enforce; ``KERNEL_VERSION`` therefore did not change.
+
+On top of the per-interval fast path sits the *decision-epoch* fast
+path: when the manager can prove its decision stays fixed for a run of
+upcoming intervals (``stable_horizon``/``epoch_continue``, see
+:class:`~repro.policies.base.TaskManager`), the engine draws each
+interval's randomness in stream order but defers all queue, latency,
+power and bookkeeping arithmetic to one batched pass over the whole
+run (:meth:`~repro.sim.queueing.DispatchQueue.run_epoch_drawn`, bulk
+:meth:`~repro.sim.records.ObservationTable.extend`).  This too is
+implementation-only -- the epoch differential tests pin byte-identity
+against the scalar path -- and falls back to the scalar loop at every
+decision boundary, migration, armed perf-counter bug, or wide server
+set.
 """
 
 from __future__ import annotations
@@ -44,13 +57,23 @@ from repro.hardware.affinity import AffinityManager, Placement
 from repro.hardware.counters import PerfCounters
 from repro.hardware.cores import CoreKind
 from repro.hardware.dvfs import DVFSController
-from repro.hardware.power import EnergyMeter, PowerBreakdown, PowerModel
+from repro.hardware.power import (
+    ClusterPowerCoefficients,
+    EnergyMeter,
+    PowerBreakdown,
+    PowerModel,
+)
 from repro.hardware.soc import KernelConfig, Platform
 from repro.loadgen.traces import LoadTrace
 from repro.policies.base import Decision, ManagerContext, TaskManager
 from repro.sim.contention import ContentionModel, aggregate_pressure_indexed
 from repro.sim.latency import linear_quantile
-from repro.sim.queueing import DispatchQueue, IntervalQueueStats
+from repro.sim.queueing import (
+    _SCALAR_SERVER_LIMIT,
+    DispatchQueue,
+    DrawnInterval,
+    IntervalQueueStats,
+)
 from repro.sim.records import ExperimentResult, ObservationTable
 from repro.workloads.base import LatencyCriticalWorkload, lc_server_speeds_array
 from repro.workloads.batch import BatchJobSet
@@ -63,6 +86,41 @@ DEFAULT_MIGRATION_PENALTY_S = 0.060
 #: Per-server backlog bound; clients time out and shed beyond this.
 DEFAULT_MAX_BACKLOG_S = 4.0
 
+#: Epoch length cap: bounds the padded per-server matrices of the epoch
+#: queue kernel (working-set control).  The request budget below is the
+#: real memory bound (the matrices hold one row per interval, one
+#: column per request); the block cap only binds at trough rates, where
+#: rows are narrow, so it can sit high enough that per-epoch fixed
+#: costs amortize out over quiet stretches.
+_EPOCH_BLOCK = 1024
+
+#: Request cap per epoch: once the drawn intervals carry this many
+#: requests the epoch commits and a fresh one starts.  Keeps the epoch
+#: kernel's padded per-server matrices cache-resident at high arrival
+#: rates -- the regime where the scalar kernel's exact-length arrays fit
+#: in L1 and an unbounded epoch's multi-megabyte matrices would turn the
+#: batching win into a memory-bandwidth loss.
+_EPOCH_REQUEST_BUDGET = 8192
+
+#: Minimum intervals an epoch must be able to amortize over: when the
+#: expected per-interval request count is so high that the request
+#: budget would truncate the epoch below this, the per-epoch setup
+#: (padding, scans, asarray round-trips) cannot pay for itself and the
+#: interval runs scalar instead.  Purely a routing heuristic -- both
+#: paths produce byte-identical observations.
+_EPOCH_MIN_INTERVALS = 16
+
+#: Below this expected per-interval request count an interval is
+#: "light": the batched kernel beats the scalar one even for runs of a
+#: couple of intervals, so any horizon >= 2 batches.  Heavier intervals
+#: only approach break-even on long runs, so they additionally demand a
+#: provable horizon of ``_EPOCH_MIN_INTERVALS`` -- and when an epoch
+#: still ends early (a measured-load bucket flap the offered-load
+#: horizon could not see), epoch attempts pause for a stretch of scalar
+#: intervals rather than paying the setup again at the same boundary.
+_EPOCH_LIGHT_REQUESTS = 64
+_EPOCH_COOLDOWN_INTERVALS = 32
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -73,6 +131,11 @@ class EngineConfig:
     max_backlog_s: float = DEFAULT_MAX_BACKLOG_S
     balance_exponent: float = 0.55
     juno_perf_bug: bool = True
+    #: Batch decision-stable interval runs through the epoch kernel.
+    #: Observationally invisible (the epoch differential tests pin
+    #: byte-identity); exposed so tests and benchmarks can force the
+    #: scalar path.
+    epoch_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -100,6 +163,8 @@ class _DecisionState:
         "config_label",
         "lc_used_index",
         "lc_ips_coeff",
+        "lc_index_arr",
+        "lc_coeff_arr",
         "batch_big_index",
         "batch_small_index",
         "big_batch_sum",
@@ -115,6 +180,8 @@ class _DecisionState:
     n_servers: int
     lc_used_index: list[int]
     lc_ips_coeff: list[float]
+    lc_index_arr: np.ndarray
+    lc_coeff_arr: np.ndarray
     batch_big_index: list[int]
     batch_small_index: list[int]
     big_batch_sum: float
@@ -191,6 +258,12 @@ class IntervalSimulator:
         self._idle_latency_ms = workload.idle_latency_ms
         self._target_ms = workload.target_latency_ms  # qos_met / tardiness
 
+        # Decision-epoch fast path: trace lookahead (filled by run()) and
+        # engagement counters (read by tests and the benchmark harness).
+        self._loads: np.ndarray | None = None
+        self.epochs_run = 0
+        self.epoch_intervals = 0
+
     @property
     def energy_meter(self) -> EnergyMeter:
         """The run's cumulative energy registers."""
@@ -225,12 +298,96 @@ class IntervalSimulator:
             )
         )
 
+        # The whole run's interval-midpoint offered loads, computed once.
+        # ``i * dt + dt / 2.0`` per element is bitwise the scalar
+        # expression (arange holds exact integers), and load_at_many is
+        # pinned bit-identical to per-call load_at, so both paths read
+        # the identical floats.
+        dt = self.config.interval_s
+        mids = np.arange(total, dtype=np.float64) * dt + dt / 2.0
+        self._loads = self.trace.load_at_many(mids)
+
+        manager = self.manager
+        manager_type = type(manager)
+        # The epoch fast path needs the manager to opt into *both* sides
+        # of the contract, and the perf-counter bug consumes rng draws
+        # per interval when armed, which only the scalar path replays.
+        epoch_capable = (
+            self.config.epoch_fast_path
+            and not self._counters_armed
+            and manager_type.stable_horizon is not TaskManager.stable_horizon
+            and manager_type.epoch_continue is not TaskManager.epoch_continue
+        )
+        observe_overridden = manager_type.observe is not TaskManager.observe
+        # Expected sim requests per interval at load 1.0 (the per-load
+        # factor of the arrival rate the kernel sees).
+        epoch_rate_scale = self._max_load_rps / self._sim_scale * dt
+        # Scalar intervals left before heavy-rate epoch attempts resume
+        # after one broke early (see _EPOCH_COOLDOWN_INTERVALS).
+        epoch_cooldown = 0
+
         # Struct-of-arrays result store: one preallocated typed column
         # per observation field, appended in place each interval -- no
         # per-interval dataclass construction on the hot path.
         table = ObservationTable(total)
-        for i in range(total):
-            self._run_interval(i, table)
+        i = 0
+        while i < total:
+            decision = manager.decide()
+            last = self._last_decision
+            repeated = decision is last or decision == last
+            if repeated:
+                # Decision-unchanged fast path: placement, pressure,
+                # speeds and queue configuration are all exactly what
+                # they already are; re-applying them (as the reference
+                # engine does) is a chain of guaranteed no-ops.
+                state = self._state
+                migrated_cores = 0
+                migration_event = False
+            else:
+                state, migrated_cores, migration_event = self._apply_decision(
+                    decision, i * dt
+                )
+            # An epoch starts only on an *observed* repeat: every decision
+            # boundary runs one scalar interval first.  Cheap (one interval
+            # per boundary) and it keeps subclassed managers whose decide()
+            # mutates state per call off the batched path even when they
+            # inherit an epoch-capable contract.
+            if (
+                epoch_capable
+                and repeated
+                and state.n_servers < _SCALAR_SERVER_LIMIT
+                and i + 1 < total
+            ):
+                expected_requests = float(self._loads[i]) * epoch_rate_scale
+                heavy = expected_requests > _EPOCH_LIGHT_REQUESTS
+                # Light intervals batch profitably even in runs of two;
+                # heavy ones only amortize the epoch setup over a long
+                # provable run, and back off for a stretch when a
+                # measured-load flap still cut one short.
+                if (
+                    expected_requests * _EPOCH_MIN_INTERVALS
+                    <= _EPOCH_REQUEST_BUDGET
+                    and (not heavy or epoch_cooldown == 0)
+                ):
+                    cap = min(_EPOCH_BLOCK, total - i)
+                    horizon = min(
+                        int(manager.stable_horizon(self._loads[i : i + cap])),
+                        cap,
+                    )
+                    if horizon >= (_EPOCH_MIN_INTERVALS if heavy else 2):
+                        ran = self._run_epoch(
+                            i, horizon, decision, state, table, observe_overridden
+                        )
+                        if heavy and ran < _EPOCH_MIN_INTERVALS:
+                            epoch_cooldown = _EPOCH_COOLDOWN_INTERVALS
+                        i += ran
+                        continue
+            if epoch_cooldown:
+                epoch_cooldown -= 1
+            self._run_interval(
+                i, table, decision, state, migrated_cores, migration_event
+            )
+            i += 1
         return ExperimentResult(
             table.freeze(),
             workload_name=self.workload.name,
@@ -243,27 +400,20 @@ class IntervalSimulator:
     # one monitoring interval
     # ------------------------------------------------------------------
 
-    def _run_interval(self, index: int, table: ObservationTable) -> None:
+    def _run_interval(
+        self,
+        index: int,
+        table: ObservationTable,
+        decision: Decision,
+        state: _DecisionState,
+        migrated_cores: int,
+        migration_event: bool,
+    ) -> None:
         dt = self.config.interval_s
         t0 = index * dt
         t1 = t0 + dt
-        load = self.trace.load_at(t0 + dt / 2.0)
+        load = float(self._loads[index])
         workload = self.workload
-
-        decision = self.manager.decide()
-        last = self._last_decision
-        if decision is last or decision == last:
-            # Decision-unchanged fast path: placement, pressure, speeds
-            # and queue configuration are all exactly what they already
-            # are; re-applying them (as the reference engine does) is a
-            # chain of guaranteed no-ops.
-            state = self._state
-            migrated_cores = 0
-            migration_event = False
-        else:
-            state, migrated_cores, migration_event = self._apply_decision(
-                decision, t0
-            )
 
         # Latency-critical queueing replica.  The inlined rate expression
         # is sim_arrival_rate() verbatim (same operation order).
@@ -295,13 +445,14 @@ class IntervalSimulator:
                 latencies_ms, self._qos_percentile, destructive=True
             )
 
-        # Batch execution and perf counters (dense, core-indexed).
-        utilizations = stats.utilizations
+        # Batch execution and perf counters (dense, core-indexed).  The
+        # per-server utilizations scatter into the dense core vectors by
+        # fancy index; with unique targets this assigns the identical
+        # floats the old element loop did.
+        lc_index = state.lc_index_arr
+        u_arr = np.asarray(stats.utilizations)[: lc_index.size]
         true_ips = state.true_ips_base.copy()
-        lc_index = state.lc_used_index
-        lc_coeff = state.lc_ips_coeff
-        for j in range(len(lc_index)):
-            true_ips[lc_index[j]] = lc_coeff[j] * utilizations[j]
+        true_ips[lc_index] = state.lc_coeff_arr * u_arr
         if self._counters_armed:
             counter_vec, garbage = self._counters.read_array(true_ips, self._rng)
         else:
@@ -317,8 +468,7 @@ class IntervalSimulator:
         # Power and energy (per-operating-point coefficients cached in
         # the decision state; arithmetic identical to PowerModel's).
         utils_vec = state.utils_base.copy()
-        for j in range(len(lc_index)):
-            utils_vec[lc_index[j]] = utilizations[j]
+        utils_vec[lc_index] = u_arr
         gate = self._power_gate
         n_big = self._n_big
         breakdown = PowerBreakdown(
@@ -363,6 +513,152 @@ class IntervalSimulator:
             batch_instructions=batch_instructions,
         )
         self.manager.observe(table.view(index))
+
+    # ------------------------------------------------------------------
+    # the decision-epoch fast path
+    # ------------------------------------------------------------------
+
+    def _run_epoch(
+        self,
+        start: int,
+        horizon: int,
+        decision: Decision,
+        state: _DecisionState,
+        table: ObservationTable,
+        observe_overridden: bool,
+    ) -> int:
+        """Evaluate a run of decision-stable intervals in one batched pass.
+
+        Byte-identity with the scalar loop holds because randomness is
+        still consumed interval by interval, in stream order, through
+        :meth:`DispatchQueue.draw_interval` -- and each drawn interval is
+        validated through the manager's ``epoch_continue`` *before* the
+        next one is drawn, so the stream never runs ahead of a decision
+        the scalar path would also have made (no rollback exists, none is
+        needed).  Only the arithmetic is deferred and batched: the queue
+        kernel, the latency summaries (per-interval slices of one
+        concatenated buffer, reduced at their exact lengths), the power
+        law (column-sequential accumulation in core order) and the
+        observation rows (one bulk ``extend``).  ``observe`` is replayed
+        per interval at commit, in order, for managers that define it.
+
+        Returns the number of intervals committed (>= 1).
+        """
+        dt = self.config.interval_s
+        manager = self.manager
+        queue = self._queue
+        scale = self._sim_scale
+        max_rps = self._max_load_rps
+        sampler = self._demand_sampler
+        loads = self._loads
+
+        drawn: list[DrawnInterval] = []
+        t0s: list[float] = []
+        t1s: list[float] = []
+        offered: list[float] = []
+        measured: list[float] = []
+        arrival_rps: list[float] = []
+        n_requests: list[int] = []
+        budget = _EPOCH_REQUEST_BUDGET
+        for j in range(horizon):
+            index = start + j
+            t0 = index * dt
+            t1 = t0 + dt
+            load = float(loads[index])
+            d = queue.draw_interval(t0, t1, load * max_rps / scale, sampler)
+            arrivals_real = d.n * scale
+            rps = arrivals_real / dt
+            drawn.append(d)
+            t0s.append(t0)
+            t1s.append(t1)
+            offered.append(load)
+            measured.append(min(rps / max_rps, 1.0))
+            arrival_rps.append(rps)
+            n_requests.append(int(arrivals_real))
+            budget -= d.n
+            if budget <= 0:
+                break
+            if j + 1 < horizon and not manager.epoch_continue(measured[-1]):
+                break
+        n_epoch = len(drawn)
+
+        stats = queue.run_epoch_drawn(t0s, t1s, drawn)
+
+        # Latency summaries.  reported_latency_ms is elementwise, so one
+        # call over the concatenated sojourn times produces the identical
+        # floats; each interval's mean/quantile then reduces its own
+        # contiguous slice at its exact length (the mean first --
+        # linear_quantile partitions the slice in place).
+        latencies_ms = self.workload.reported_latency_ms(stats.latencies_s)
+        offsets = stats.offsets
+        idle_ms = self._idle_latency_ms
+        percentile = self._qos_percentile
+        tails = np.empty(n_epoch)
+        means = np.empty(n_epoch)
+        for j in range(n_epoch):
+            lo = offsets[j]
+            hi = offsets[j + 1]
+            if hi == lo:
+                tails[j] = means[j] = idle_ms
+            else:
+                seg = latencies_ms[lo:hi]
+                means[j] = np.add.reduce(seg) / seg.size
+                tails[j] = linear_quantile(seg, percentile, destructive=True)
+
+        # Power and energy over the whole epoch.  utils rows scatter into
+        # copies of the decision's dense base vector exactly as the
+        # scalar path does per interval.
+        lc_index = state.lc_index_arr
+        utils_mat = np.broadcast_to(
+            state.utils_base, (n_epoch, state.utils_base.size)
+        ).copy()
+        utils_mat[:, lc_index] = stats.utilizations[:, : lc_index.size]
+        n_big = self._n_big
+        gate = self._power_gate
+        big_w = _epoch_cluster_power(state.big_power, utils_mat[:, :n_big], gate)
+        small_w = _epoch_cluster_power(state.small_power, utils_mat[:, n_big:], gate)
+        rest_w = self._rest_of_system_w
+        power_w = (big_w + small_w) + rest_w
+        self._meter.record_many(big_w, small_w, np.full(n_epoch, rest_w), dt)
+
+        # The epoch runs only with the perf-counter bug disarmed, so the
+        # counter columns are the decision-state constants.
+        tardiness = tails / self._target_ms
+        row = table.extend(
+            n_epoch,
+            decision=decision,
+            config_label=state.config_label,
+            index=np.arange(start, start + n_epoch),
+            t_start_s=np.asarray(t0s),
+            duration_s=dt,
+            offered_load=np.asarray(offered),
+            measured_load=np.asarray(measured),
+            arrival_rps=np.asarray(arrival_rps),
+            n_requests=np.asarray(n_requests),
+            tail_latency_ms=tails,
+            mean_latency_ms=means,
+            qos_met=tails <= self._target_ms,
+            tardiness=tardiness,
+            power_w=power_w,
+            energy_j=power_w * dt,
+            big_ips=state.big_batch_sum,
+            small_ips=state.small_batch_sum,
+            counter_garbage=False,
+            big_freq_ghz=decision.big_freq_ghz,
+            small_freq_ghz=decision.small_freq_ghz,
+            migrated_cores=0,
+            migration_event=False,
+            mean_utilization=np.asarray(stats.mean_utilization),
+            backlog_s=np.asarray(stats.backlog_s) / scale,
+            shed_work_s=np.asarray(stats.shed_work_s) / scale,
+            batch_instructions=state.batch_ips_sum * dt,
+        )
+        if observe_overridden:
+            for j in range(n_epoch):
+                manager.observe(table.view(row + j))
+        self.epochs_run += 1
+        self.epoch_intervals += n_epoch
+        return n_epoch
 
     # ------------------------------------------------------------------
     # decision application (the non-fast path)
@@ -490,6 +786,8 @@ class IntervalSimulator:
             state.lc_ips_coeff.append(
                 workload.lc_ipc_fraction * self._microbench_ips(cluster, freq)
             )
+        state.lc_index_arr = np.asarray(state.lc_used_index, dtype=np.intp)
+        state.lc_coeff_arr = np.asarray(state.lc_ips_coeff, dtype=float)
         return state
 
     def _microbench_ips(self, cluster, freq_ghz: float) -> float:
@@ -533,6 +831,40 @@ class IntervalSimulator:
         remaining_s = t0 + penalty - stats.arrival_times_s[stalled]
         extra[stalled] = remaining_s * 1e3
         return extra
+
+
+def _epoch_cluster_power(
+    coeffs: ClusterPowerCoefficients,
+    utils_mat: np.ndarray,
+    power_gate_idle: bool,
+) -> np.ndarray:
+    """Cluster power for a whole epoch of per-core utilization rows.
+
+    Vectorizes :meth:`ClusterPowerCoefficients.cluster_power_w` across
+    the epoch axis while keeping each row's accumulation identical to
+    the scalar method: the total starts at the static term and adds one
+    core's dynamic term at a time, in core order.  A power-gated idle
+    core *skips* its add on the scalar path; here it contributes ``+0.0``
+    instead, which is bitwise invisible because the running total is
+    never ``-0.0`` (it starts at a non-negative static term and only
+    grows).
+    """
+    h, n_cores = utils_mat.shape
+    if n_cores and (
+        float(utils_mat.min()) < 0.0 or float(utils_mat.max()) > 1.0
+    ):
+        raise ValueError("utilization must be within [0, 1]")
+    total = np.full(h, coeffs.static_w)
+    idle = coeffs.idle_fraction
+    busy = 1.0 - idle
+    dynamic = coeffs.dynamic_w
+    for c in range(n_cores):
+        col = utils_mat[:, c]
+        term = dynamic * (idle + busy * col)
+        if power_gate_idle:
+            term = np.where(col == 0.0, 0.0, term)
+        total += term
+    return total
 
 
 def run_experiment(

@@ -35,7 +35,7 @@ transitions is central to the paper's argument (Section 2, citing Rubik).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
 
@@ -99,6 +99,42 @@ def lindley_completion_times_reference(
         free = start + service[j]
         completion[j] = free
     return completion
+
+
+class DrawnInterval(NamedTuple):
+    """One interval's arrival randomness, drawn ahead of evaluation.
+
+    :meth:`DispatchQueue.draw_interval` consumes exactly the rng draws
+    the scalar path would (arrival process, then demands, then the
+    dispatch uniforms -- nothing when the interval is empty) and parks
+    them here, so the epoch fast path can keep drawing *and validating*
+    interval by interval while deferring all queue arithmetic to one
+    batched pass.
+    """
+
+    n: int
+    times: np.ndarray
+    demands: np.ndarray
+    dispatch_u: np.ndarray
+
+
+class EpochQueueStats(NamedTuple):
+    """Per-interval queue outcomes of one decision-stable epoch.
+
+    ``latencies_s`` concatenates the intervals' sojourn times in arrival
+    order; interval ``i`` owns the slice ``[offsets[i], offsets[i + 1])``.
+    ``backlog_s`` is the queue backlog at each interval's end, *after*
+    shedding -- i.e. exactly what :meth:`DispatchQueue.backlog_s` would
+    report between intervals on the scalar path.
+    """
+
+    latencies_s: np.ndarray
+    offsets: np.ndarray
+    counts: list[int]
+    utilizations: np.ndarray
+    mean_utilization: list[float]
+    shed_work_s: list[float]
+    backlog_s: list[float]
 
 
 @dataclass(frozen=True)
@@ -245,11 +281,16 @@ class DispatchQueue:
         binary search, consumes the identical rng stream, and returns
         the identical assignment -- the equivalence is pinned by a test.
         """
-        u = self.rng.random(n)
+        return self._assign(self.rng.random(n))
+
+    def _assign(self, u: np.ndarray) -> np.ndarray:
+        """Server index per already-drawn dispatch uniform (see
+        :meth:`_dispatch`; separated so the epoch path can assign a whole
+        epoch's stored uniforms with the identical comparisons)."""
         cdf = self._cdf
         last = len(cdf) - 1  # cdf[-1] == 1.0 > u always, never counted
         if last == 0:
-            return np.zeros(n, dtype=np.intp)
+            return np.zeros(len(u), dtype=np.intp)
         if last > 8:
             return cdf.searchsorted(u, side="right")
         assigned = (u >= cdf[0]).astype(np.intp)
@@ -257,25 +298,51 @@ class DispatchQueue:
             assigned += u >= cdf[j]
         return assigned
 
-    def _group(self, n: int) -> list[np.ndarray] | None:
-        """Per-server request index arrays for ``n`` fresh arrivals.
+    def _group_from_u(self, u: np.ndarray) -> list[np.ndarray] | None:
+        """Per-server request index arrays for stored dispatch uniforms.
 
-        Same draw and assignment as :meth:`_dispatch`, but returning the
-        grouping directly; ``None`` means a single server takes all (the
-        draw is still consumed, keeping the stream aligned).  Two servers
-        -- the platform's big-cores-only configurations, the most common
-        case in practice -- group from one comparison mask without ever
-        materializing the assignment array.
+        Same assignment as :meth:`_dispatch` (the draw happened in
+        :meth:`draw_interval`); ``None`` means a single server takes all.
+        Two servers -- the platform's big-cores-only configurations, the
+        most common case in practice -- group from one comparison mask
+        without ever materializing the assignment array.
         """
         k = self.n_servers
         if k == 1:
-            self.rng.random(n)
             return None
         if k == 2:
-            mask = self.rng.random(n) >= self._cdf[0]
+            mask = u >= self._cdf[0]
             return [(~mask).nonzero()[0], mask.nonzero()[0]]
-        assigned = self._dispatch(n)
+        assigned = self._assign(u)
         return [(assigned == j).nonzero()[0] for j in range(k)]
+
+    def draw_interval(
+        self,
+        t0: float,
+        t1: float,
+        arrival_rate: float,
+        demand_sampler: DemandSampler,
+    ) -> DrawnInterval:
+        """Consume one interval's randomness without evaluating the queue.
+
+        Draw order matches :meth:`run_interval` exactly -- arrival
+        process, then (only when requests arrived) demands and the
+        dispatch uniforms -- so ``run_drawn(t0, t1, draw_interval(...))``
+        is byte-identical to ``run_interval(...)``.
+        """
+        if self.n_servers == 0:
+            raise RuntimeError("reconfigure() must be called before run_interval()")
+        if t1 <= t0:
+            raise ValueError("interval must have positive duration")
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        n, times = self._draw_arrivals(arrival_rate, t0, t1)
+        if n == 0:
+            empty = np.empty(0)
+            return DrawnInterval(0, times, empty, empty)
+        demands = demand_sampler(self.rng, n)
+        u = self.rng.random(n)
+        return DrawnInterval(n, times, demands, u)
 
     def run_interval(
         self,
@@ -290,17 +357,16 @@ class DispatchQueue:
         *arriving* in the interval, per-server utilizations, and the
         amount of work shed to the backlog bound.
         """
-        if self.n_servers == 0:
-            raise RuntimeError("reconfigure() must be called before run_interval()")
-        if t1 <= t0:
-            raise ValueError("interval must have positive duration")
-        if arrival_rate < 0:
-            raise ValueError("arrival_rate must be non-negative")
+        return self.run_drawn(t0, t1, self.draw_interval(t0, t1, arrival_rate, demand_sampler))
 
+    def run_drawn(
+        self, t0: float, t1: float, drawn: DrawnInterval
+    ) -> IntervalQueueStats:
+        """Evaluate one interval whose randomness was already drawn."""
         dt = t1 - t0
         n_servers = self.n_servers
         scalar = n_servers < _SCALAR_SERVER_LIMIT
-        n, burst_times = self._draw_arrivals(arrival_rate, t0, t1)
+        n = drawn.n
         if scalar:
             free_list = self._free.tolist()
             carried_busy = [max(min(f, t1) - t0, 0.0) for f in free_list]
@@ -320,9 +386,9 @@ class DispatchQueue:
                 shed_work_s=shed,
             )
 
-        arrivals = burst_times
-        demands = demand_sampler(self.rng, n)
-        groups = self._group(n)
+        arrivals = drawn.times
+        demands = drawn.demands
+        groups = self._group_from_u(drawn.dispatch_u)
 
         service_sums = [0.0] * n_servers
         free = self._free
@@ -379,6 +445,218 @@ class DispatchQueue:
             arrivals=n,
             utilizations=utils,
             shed_work_s=shed,
+        )
+
+    def run_epoch_drawn(
+        self,
+        t0s: Sequence[float],
+        t1s: Sequence[float],
+        drawn: Sequence[DrawnInterval],
+    ) -> EpochQueueStats:
+        """Evaluate a run of pre-drawn intervals in one batched pass.
+
+        The caller guarantees the server set is untouched for the whole
+        epoch (no :meth:`reconfigure` between the intervals) -- exactly
+        the decision-stable regime of the engine's epoch fast path.
+
+        Byte-identity with per-interval :meth:`run_drawn` calls rests on
+        three observations, each pinned by the differential tests:
+
+        * ``cumsum``/``maximum.accumulate`` along ``axis=1`` of a padded
+          per-server ``(epoch, max_requests)`` matrix run the identical
+          sequential recurrences per row as the scalar path's 1-D kernel
+          (padding sits *after* the valid entries and its outputs are
+          never read), while per-interval reductions -- service sums,
+          the latency mean -- use exact-length row slices because
+          numpy's pairwise summation tree depends on the operand length;
+        * the only cross-interval coupling is each server's free time,
+          whose per-boundary update ``free' = cum_last + max(free,
+          runmax_last)`` and shed clamp are the scalar path's own two
+          scalar operations, evaluated in a cheap Python scan;
+        * per-interval bookkeeping (carried busy time, utilizations,
+          shedding, backlog) replicates the scalar branch of
+          :meth:`run_drawn` expression by expression, which is why the
+          epoch path requires ``n_servers < _SCALAR_SERVER_LIMIT``.
+        """
+        k = self.n_servers
+        if k == 0:
+            raise RuntimeError("reconfigure() must be called before run_epoch_drawn()")
+        if k >= _SCALAR_SERVER_LIMIT:
+            raise ValueError(
+                "the epoch kernel replicates the scalar per-server "
+                f"bookkeeping and needs n_servers < {_SCALAR_SERVER_LIMIT}"
+            )
+        n_epoch = len(drawn)
+        counts = [d.n for d in drawn]
+        total = sum(counts)
+        offsets = np.zeros(n_epoch + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+
+        if total:
+            times_all = np.concatenate([d.times for d in drawn])
+            demands_all = np.concatenate([d.demands for d in drawn])
+            u_all = np.concatenate([d.dispatch_u for d in drawn])
+            interval_of = np.repeat(np.arange(n_epoch, dtype=np.intp), counts)
+            if k == 1:
+                assigned = None
+            elif k == 2:
+                # Matches _group_from_u's mask grouping: server 0 takes
+                # ~mask, server 1 takes mask.
+                assigned = (u_all >= self._cdf[0]).astype(np.intp)
+            else:
+                assigned = self._assign(u_all)
+        speeds = self._speeds
+
+        # Per-server padded matrices: row i holds interval i's requests
+        # for that server (valid entries first), so the row-wise Lindley
+        # recurrences below are the scalar kernel verbatim.
+        per_server: list[tuple | None] = []
+        for s in range(k):
+            if not total:
+                per_server.append(None)
+                continue
+            if assigned is None:
+                sel = np.arange(total, dtype=np.intp)
+            else:
+                sel = np.flatnonzero(assigned == s)
+            if not len(sel):
+                per_server.append(None)
+                continue
+            rows = interval_of[sel]
+            cnt = np.bincount(rows, minlength=n_epoch)
+            width = int(cnt.max())
+            starts = np.zeros(n_epoch, dtype=np.intp)
+            np.cumsum(cnt[:-1], out=starts[1:])
+            pos = np.arange(len(sel), dtype=np.intp) - starts[rows]
+            dem = np.zeros((n_epoch, width))
+            dem[rows, pos] = demands_all[sel]
+            arr = np.zeros((n_epoch, width))
+            arr[rows, pos] = times_all[sel]
+            service = dem / speeds[s]
+            cum = service.cumsum(axis=1)
+            buf = cum - service
+            np.subtract(arr, buf, out=buf)
+            np.maximum.accumulate(buf, axis=1, out=buf)
+            last_col = cnt - 1
+            nz = np.flatnonzero(cnt)
+            runmax_last = np.zeros(n_epoch)
+            cum_last = np.zeros(n_epoch)
+            runmax_last[nz] = buf[nz, last_col[nz]]
+            cum_last[nz] = cum[nz, last_col[nz]]
+            per_server.append(
+                (sel, rows, pos, cnt, service, cum, buf, arr, runmax_last, cum_last)
+            )
+
+        # Cross-interval scan: carry each server's free time across the
+        # epoch with the scalar path's own per-boundary operations.  The
+        # scan runs on plain Python floats -- array values are hoisted
+        # out through tolist() first -- because per-element ndarray
+        # indexing would cost more than the whole batched kernel; the
+        # arithmetic is the identical IEEE sequence either way.
+        scan: list[tuple | None] = []
+        for s in range(k):
+            data = per_server[s]
+            if data is None:
+                scan.append(None)
+                continue
+            cnt, service = data[3], data[4]
+            if service.shape[1] < _SCALAR_SERVER_LIMIT:
+                # Narrow rows reduce sequentially (no pairwise split) and
+                # the pads only ever add +0.0 to a positive running sum,
+                # so the padded row sums are the exact per-row reduces.
+                sums = service.sum(axis=1).tolist()
+            else:
+                # Wide rows reduce pairwise, where the tree shape depends
+                # on the operand length: batch rows of equal request count
+                # so each row still sums exactly its own c-length slice
+                # (an axis-1 sum runs the same pairwise routine per row
+                # as the scalar kernel's 1-D reduce).
+                sums_arr = np.zeros(n_epoch)
+                for c in np.unique(cnt):
+                    if c:
+                        rows_c = np.flatnonzero(cnt == c)
+                        sums_arr[rows_c] = service[rows_c, :c].sum(axis=1)
+                sums = sums_arr.tolist()
+            scan.append((cnt.tolist(), data[8].tolist(), data[9].tolist(), sums))
+        free = self._free
+        free_l = free.tolist()
+        free_rows: list[list[float]] = []
+        utils_rows: list[list[float]] = []
+        mean_utilization: list[float] = []
+        shed_work: list[float] = []
+        backlog: list[float] = []
+        max_backlog = self.max_backlog_s
+        for i in range(n_epoch):
+            t0 = t0s[i]
+            t1 = t1s[i]
+            dt = t1 - t0
+            n_i = counts[i]
+            util_sum = 0.0
+            row_free: list[float] = []
+            row_utils: list[float] = []
+            for s in range(k):
+                f = free_l[s]
+                row_free.append(f)
+                lists = scan[s]
+                c = lists[0][i] if lists is not None else 0
+                if c:
+                    free_l[s] = lists[2][i] + max(f, lists[1][i])
+                if n_i != 0 and f >= t1:
+                    # Fully carried-over interval: carried == dt, so
+                    # min((dt + service_sum) / dt, 1.0) is exactly 1.0
+                    # for any non-negative service sum -- the reduce's
+                    # value cannot reach the observation.
+                    util = 1.0
+                else:
+                    carried = max(min(f, t1) - t0, 0.0)
+                    service_sum = lists[3][i] if c else 0.0
+                    if n_i == 0:
+                        util = min(carried / dt, 1.0)
+                    else:
+                        util = min((carried + service_sum) / dt, 1.0)
+                row_utils.append(util)
+                util_sum += util
+            free_rows.append(row_free)
+            utils_rows.append(row_utils)
+            mean_utilization.append(util_sum / k)
+            shed = 0.0
+            if max_backlog is not None:
+                bound = t1 + max_backlog
+                for s in range(k):
+                    f = free_l[s]
+                    if f > bound:
+                        shed += f - bound
+                        free_l[s] = bound
+            shed_work.append(shed)
+            total_backlog = 0.0
+            for f in free_l:
+                if f > t1:
+                    total_backlog += f - t1
+            backlog.append(total_backlog)
+        free[:] = free_l
+        free_start = np.asarray(free_rows)
+        utils = np.asarray(utils_rows)
+
+        # Completion times and sojourn latencies, batched per server with
+        # the scalar kernel's remaining three elementwise passes.
+        latencies = np.empty(total)
+        for s in range(k):
+            data = per_server[s]
+            if data is None:
+                continue
+            sel, rows, pos, _, _, cum, buf, arr, _, _ = data
+            np.maximum(buf, free_start[:, s].reshape(n_epoch, 1), out=buf)
+            np.add(cum, buf, out=buf)
+            np.subtract(buf, arr, out=buf)
+            latencies[sel] = buf[rows, pos]
+        return EpochQueueStats(
+            latencies_s=latencies,
+            offsets=offsets,
+            counts=counts,
+            utilizations=utils,
+            mean_utilization=mean_utilization,
+            shed_work_s=shed_work,
+            backlog_s=backlog,
         )
 
     def _draw_arrivals(

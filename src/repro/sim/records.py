@@ -261,6 +261,56 @@ class ObservationTable:
         self._n = i + 1
         return i
 
+    def extend(
+        self,
+        n: int,
+        *,
+        decision: "Decision",
+        config_label: str,
+        **columns,
+    ) -> int:
+        """Bulk-append ``n`` rows sharing one decision; returns the first index.
+
+        The epoch fast path's counterpart to :meth:`append`: ``columns``
+        must provide every scalar field, each as either a length-``n``
+        array-like or a scalar to broadcast (epoch-constant fields such
+        as ``duration_s`` or ``big_ips``).  ``decision`` and
+        ``config_label`` are scalars by construction -- an epoch exists
+        only while the decision is unchanged -- so each pool is consulted
+        once for the whole slab.
+        """
+        if self._frozen:
+            raise RuntimeError("cannot append to a frozen ObservationTable")
+        if n < 0:
+            raise ValueError("row count must be non-negative")
+        i = self._n
+        if i + n > self._capacity:
+            raise IndexError("ObservationTable capacity exhausted")
+        missing = set(SCALAR_FIELDS) - set(columns)
+        extra = set(columns) - set(SCALAR_FIELDS)
+        if missing or extra:
+            raise TypeError(
+                f"extend() expects exactly the scalar fields; missing "
+                f"{sorted(missing)}, unexpected {sorted(extra)}"
+            )
+        cols = self._cols
+        for field, value in columns.items():
+            cols[field][i : i + n] = value
+        code = self._decision_index.get(decision)
+        if code is None:
+            code = len(self._decision_pool)
+            self._decision_pool.append(decision)
+            self._decision_index[decision] = code
+        cols["decision"][i : i + n] = code
+        code = self._label_index.get(config_label)
+        if code is None:
+            code = len(self._label_pool)
+            self._label_pool.append(config_label)
+            self._label_index[config_label] = code
+        cols["config_label"][i : i + n] = code
+        self._n = i + n
+        return i
+
     def append_observation(self, observation: IntervalObservation) -> int:
         """Append one already-materialized row (the legacy path)."""
         return self.append(

@@ -165,12 +165,26 @@ class TestBenchSubcommand:
                 speedup=3.46,
             )
 
+        def fake_measure_epoch_point(name, arrivals, **kwargs):
+            return bench_mod.EpochPointResult(
+                name=name,
+                arrivals=arrivals,
+                reference_ips=10_000.0,
+                optimized_ips=31_000.0,
+                speedup=3.10,
+            )
+
         monkeypatch.setattr(bench_mod, "measure_point", fake_measure_point)
+        monkeypatch.setattr(
+            bench_mod, "measure_epoch_point", fake_measure_epoch_point
+        )
         out = tmp_path / "BENCH_engine.json"
         assert main(["bench", "--output", str(out)]) == 0
         report = bench_mod.load_report(out)
         assert report["schema"] == 1
-        assert len(report["points"]) == len(bench_mod.BENCH_POINTS)
+        assert len(report["points"]) == len(bench_mod.BENCH_POINTS) + len(
+            bench_mod.EPOCH_POINTS
+        )
         assert "3.46x" in capsys.readouterr().out
 
     def test_bench_batch_writes_report(self, tmp_path, monkeypatch, capsys):

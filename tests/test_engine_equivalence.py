@@ -161,6 +161,63 @@ class TestEngineMatchesReference:
         )
 
 
+class TestEpochAgainstReference:
+    """Three-way check: reference == scalar loop == decision-epoch path.
+
+    ``TestEngineMatchesReference`` runs the default engine (epoch fast
+    path enabled) against the reference; these scenarios additionally
+    force the scalar loop and pin all three fingerprints equal on runs
+    where the epoch path provably engages (low-load decision-stable
+    segments long enough to batch)."""
+
+    def _three_way(self, platform, workload, trace, make_manager, **kwargs):
+        from repro.sim.engine import EngineConfig, IntervalSimulator
+
+        ref = run_reference_experiment(
+            platform, workload, trace, make_manager(), **kwargs
+        )
+        scalar = run_experiment(
+            platform, workload, trace, make_manager(),
+            engine_config=EngineConfig(epoch_fast_path=False), **kwargs,
+        )
+        sim = IntervalSimulator(
+            platform, workload, trace, make_manager(),
+            engine_config=EngineConfig(epoch_fast_path=True),
+            **{k: v for k, v in kwargs.items() if k != "seed"},
+            seed=kwargs.get("seed", 0),
+        )
+        epoch = sim.run()
+        assert sim.epochs_run > 0, "scenario must exercise the epoch path"
+        fp_ref = result_fingerprint(ref)
+        assert result_fingerprint(scalar) == fp_ref
+        assert result_fingerprint(epoch) == fp_ref
+
+    def test_static_big_low_load(self, platform):
+        self._three_way(
+            platform, memcached(), ConstantTrace(0.25, 60),
+            lambda: static_all_big(platform), seed=13,
+        )
+
+    def test_static_small_zero_load(self, platform):
+        self._three_way(
+            platform, memcached(), ConstantTrace(0.0, 40),
+            lambda: static_all_small(platform), seed=2,
+        )
+
+    def test_table_driven_step_epochs(self, platform):
+        from repro.policies.table_driven import TableDrivenPolicy
+
+        table = [
+            (0.1, Configuration(0, 2, None, 0.65)),
+            (0.3, Configuration(0, 4, None, 0.65)),
+            (1.0, Configuration(2, 0, 1.15, None)),
+        ]
+        self._three_way(
+            platform, memcached(), StepTrace([(30, 0.05), (30, 0.2)]),
+            lambda: TableDrivenPolicy(table), seed=17,
+        )
+
+
 class TestGoldenFingerprints:
     """Pinned golden result fingerprints: byte-identity with the seed
     across refactors, not merely self-consistency.

@@ -11,6 +11,7 @@ from repro.loadgen.traces import (
     ConcatTrace,
     ConstantTrace,
     RampTrace,
+    SampledTrace,
     SpikeTrace,
     StepTrace,
 )
@@ -112,3 +113,77 @@ class TestDiurnal:
     def test_load_always_in_unit_interval(self, t, seed):
         trace = DiurnalTrace(duration_s=1000, seed=seed)
         assert 0.0 <= trace.load_at(min(t, trace.duration_s)) <= 1.0
+
+
+class TestLoadAtMany:
+    """Vectorized lookahead: bit-identical to per-call load_at.
+
+    The engine reads a whole run's interval-midpoint loads through
+    ``load_at_many`` once, up front; every trace class overriding the
+    per-element default with batched arithmetic must return the exact
+    floats ``load_at`` would, or the decision-epoch fast path diverges
+    from the scalar loop.
+    """
+
+    def traces(self):
+        return [
+            ConstantTrace(0.4, 120.0),
+            StepTrace([(30.0, 0.1), (45.0, 0.8), (25.0, 0.3)]),
+            RampTrace(start_level=0.2, end_level=0.9, ramp_s=60.0,
+                      lead_s=10.0, hold_s=15.0),
+            SampledTrace([0.1, 0.5, 0.2, 0.9, 0.05], interval_s=7.0),
+            SpikeTrace(base_level=0.3, spike_level=1.0, spike_start_s=20.0,
+                       spike_duration_s=5.0, duration_s=90.0),
+            ConcatTrace([ConstantTrace(0.2, 30.0),
+                         StepTrace([(20.0, 0.6), (20.0, 0.4)])]),
+            DiurnalTrace(duration_s=200.0, seed=4),
+        ]
+
+    def test_bit_identical_to_scalar_lookup(self):
+        for trace in self.traces():
+            dt = 1.0
+            n = trace.n_intervals(dt)
+            mids = np.arange(n, dtype=np.float64) * dt + dt / 2.0
+            batched = trace.load_at_many(mids)
+            scalar = np.array(
+                [trace.load_at(float(t)) for t in mids], dtype=float
+            )
+            assert batched.tobytes() == scalar.tobytes(), type(trace).__name__
+
+    def test_fractional_and_clamped_times(self):
+        for trace in self.traces():
+            times = np.array(
+                [0.0, 0.25, 1.0 / 3.0, trace.duration_s / 2.0,
+                 trace.duration_s - 1e-9, trace.duration_s,
+                 trace.duration_s + 5.0]
+            )
+            batched = trace.load_at_many(times)
+            scalar = np.array(
+                [trace.load_at(float(t)) for t in times], dtype=float
+            )
+            assert batched.tobytes() == scalar.tobytes(), type(trace).__name__
+
+    def test_negative_time_rejected(self):
+        for trace in self.traces():
+            with pytest.raises(ValueError):
+                trace.load_at_many(np.array([1.0, -0.5]))
+
+    def test_empty_query(self):
+        trace = StepTrace([(10.0, 0.5)])
+        assert trace.load_at_many(np.empty(0)).shape == (0,)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        times=st.lists(st.floats(0.0, 500.0), min_size=1, max_size=40),
+        levels=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8),
+    )
+    def test_step_and_sampled_fuzz(self, times, levels):
+        step = StepTrace([(13.0, lv) for lv in levels])
+        sampled = SampledTrace(levels, interval_s=11.0)
+        arr = np.asarray(times)
+        for trace in (step, sampled):
+            batched = trace.load_at_many(arr)
+            scalar = np.array(
+                [trace.load_at(float(t)) for t in arr], dtype=float
+            )
+            assert batched.tobytes() == scalar.tobytes()

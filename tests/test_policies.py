@@ -150,3 +150,70 @@ class TestTableDriven:
         )
         assert result.observations[10].config_label == "4S-0.65"
         assert result.observations[-1].config_label == "2B-1.15"
+
+
+class TestEpochContract:
+    """The optional stable_horizon/epoch_continue decision-epoch contract."""
+
+    def started(self, policy, platform):
+        from repro.policies.base import ManagerContext
+
+        policy.start(
+            ManagerContext(
+                platform=platform,
+                workload=memcached(),
+                interval_s=1.0,
+                rng=np.random.default_rng(0),
+                batch_present=False,
+            )
+        )
+        return policy
+
+    def test_default_pins_scalar_path(self, platform):
+        from repro.policies.base import TaskManager
+
+        class Minimal(TaskManager):
+            def decide(self):
+                raise NotImplementedError
+
+        manager = Minimal()
+        assert manager.stable_horizon([0.1, 0.2, 0.3]) == 1
+        assert manager.epoch_continue(0.1) is False
+
+    def test_static_claims_whole_lookahead(self, platform):
+        policy = self.started(static_all_big(platform), platform)
+        policy.decide()
+        assert policy.stable_horizon([0.1] * 40) == 40
+        assert policy.stable_horizon([]) == 0
+        assert policy.epoch_continue(0.99) is True
+        assert policy.epoch_continue(0.0) is True
+
+    def test_table_driven_bucket_stable_prefix(self, platform):
+        table = [
+            (0.3, Configuration(0, 2, None, 0.65)),
+            (0.7, Configuration(0, 4, None, 0.65)),
+            (1.0, Configuration(2, 0, 1.15, None)),
+        ]
+        policy = self.started(TableDrivenPolicy(table), platform)
+        policy._last_load = 0.1
+        policy.decide()
+        # Prefix within the first bucket, cut at the 0.3 threshold.
+        assert policy.stable_horizon([0.1, 0.25, 0.3, 0.5, 0.1]) == 3
+        assert policy.stable_horizon([0.5, 0.1]) == 1
+        assert policy.stable_horizon([0.2] * 10) == 10
+        # Continuation follows the measured-load bucket, by identity.
+        assert policy.epoch_continue(0.25) is True
+        assert policy.epoch_continue(0.35) is False
+
+    def test_feedback_policies_pin_scalar(self, platform):
+        from repro.core.heuristic import HipsterHeuristicPolicy
+        from repro.core.hipster import Hipster
+        from repro.policies.base import TaskManager
+
+        for cls in (OctopusMan, HipsterHeuristicPolicy, Hipster):
+            assert cls.stable_horizon is not TaskManager.stable_horizon
+            policy = cls()
+            assert policy.stable_horizon([0.1] * 20) == 1
+            # epoch_continue stays the default False: a horizon of one
+            # plus no continuation keeps the engine's scalar loop.
+            assert policy.epoch_continue(0.1) is False
