@@ -1,9 +1,10 @@
 """Collocation scenario: Web-Search sharing the box with batch jobs.
 
-Reproduces the paper's HipsterCo use case (Section 4.3): a
-latency-critical Web-Search instance gets exactly the resources it needs,
-while leftover cores run SPEC CPU2006-style batch programs at maximum
-DVFS.  Compares three managers on QoS, batch throughput and energy.
+Reproduces the paper's HipsterCo use case (Section 4.3) through the
+stable facade: the ``collocation`` family pins a latency-critical
+Web-Search instance next to SPEC CPU2006-style batch programs, and the
+three managers run through one shared runner so the grid is batched,
+cached and scheduled together.
 
 Run with::
 
@@ -15,38 +16,30 @@ where ``program`` is one of the twelve SPEC CPU2006 names
 
 import sys
 
-from repro import (
-    DiurnalTrace,
-    OctopusMan,
-    hipster_co,
-    juno_r1,
-    run_experiment,
-    spec_job_set,
-    static_all_big,
-    websearch,
-)
+from repro.api import open_runner, run_scenario
+
+#: Manager name -> the manager_params its collocated variant needs.
+MANAGERS = {
+    "static-big": {"collocate_batch": True},
+    "octopus-man": {"collocate_batch": True},
+    "hipster-co": None,
+}
 
 
 def main(program: str = "calculix") -> None:
-    platform = juno_r1()
-    workload = websearch()
-    trace = DiurnalTrace(duration_s=600, seed=11)
-    jobs = spec_job_set(program)
-
     runs = {}
-    managers = {
-        "static (LC on big, batch on small)": static_all_big(
-            platform, collocate_batch=True
-        ),
-        "octopus-man": OctopusMan(collocate_batch=True),
-        "hipster-co": hipster_co(),
-    }
-    for name, manager in managers.items():
-        runs[name] = run_experiment(
-            platform, workload, trace, manager, batch_jobs=jobs, seed=1
-        )
+    with open_runner() as runner:
+        for name, manager_params in MANAGERS.items():
+            runs[name] = run_scenario(
+                "collocation",
+                manager=name,
+                program=program,
+                manager_params=manager_params,
+                quick=True,
+                runner=runner,
+            ).result
 
-    static = runs["static (LC on big, batch on small)"]
+    static = runs["static-big"]
     print(f"Web-Search + {program} on ARM Juno R1 ({len(static)} intervals)\n")
     header = f"{'manager':38s} {'QoS':>7s} {'batch IPS':>11s} {'energy':>8s}"
     print(header)

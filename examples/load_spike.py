@@ -5,7 +5,8 @@ Tail at Scale"): a heuristic walking one ladder rung per interval is slow
 to react, while a trained lookup table jumps straight to a configuration
 that fits the new load.  This example hits Memcached with a 30% -> 95%
 spike after a warm-up period and compares the tail-latency transient of
-Octopus-Man and HipsterIn.
+Octopus-Man and HipsterIn -- built as explicit frozen specs and run
+through the stable facade.
 
 Run with::
 
@@ -14,50 +15,54 @@ Run with::
 
 import numpy as np
 
-from repro import (
-    ConcatTrace,
-    DiurnalTrace,
-    HipsterParams,
-    OctopusMan,
-    SpikeTrace,
-    hipster_in,
-    juno_r1,
-    memcached,
-    run_experiment,
-)
+from repro.api import open_runner, run_scenario
 from repro.experiments.reporting import series_block
+from repro.scenarios import ScenarioSpec, TraceSpec
+from repro.scenarios.factories import build_workload
 
 WARMUP_S = 420.0
-SPIKE = SpikeTrace(
-    base_level=0.30,
-    spike_level=0.95,
-    spike_start_s=30.0,
-    spike_duration_s=60.0,
-    duration_s=150.0,
+TRACE = TraceSpec.concat(
+    TraceSpec.diurnal(WARMUP_S, seed=7),
+    TraceSpec(
+        "spike",
+        {
+            "base_level": 0.30,
+            "spike_level": 0.95,
+            "spike_start_s": 30.0,
+            "spike_duration_s": 60.0,
+            "duration_s": 150.0,
+        },
+    ),
 )
 
 
 def main() -> None:
-    platform = juno_r1()
-    workload = memcached()
-    trace = ConcatTrace([DiurnalTrace(duration_s=WARMUP_S, seed=7), SPIKE])
-
-    managers = {
-        "octopus-man": OctopusMan(),
-        "hipster-in": hipster_in(HipsterParams(learning_duration_s=300.0)),
+    specs = {
+        "octopus-man": ScenarioSpec(
+            workload="memcached", trace=TRACE, manager="octopus-man", seed=1
+        ),
+        "hipster-in": ScenarioSpec(
+            workload="memcached",
+            trace=TRACE,
+            manager="hipster-in",
+            manager_params={"learning_duration_s": 300.0},
+            seed=1,
+        ),
     }
+    workload = build_workload("memcached")
     print("Memcached 30% -> 95% load spike (after warm-up)\n")
-    for name, manager in managers.items():
-        result = run_experiment(platform, workload, trace, manager, seed=1)
-        spike_window = result.slice(WARMUP_S)
-        tardiness = spike_window.tails_ms / workload.target_latency_ms
-        print(f"--- {name} ---")
-        print(series_block("tardiness (1.0 = target)", tardiness))
-        violations = int(np.sum(tardiness > 1.0))
-        print(
-            f"  violations during spike window: {violations}/{len(spike_window)} "
-            f"intervals, worst tardiness {float(np.max(tardiness)):.1f}\n"
-        )
+    with open_runner() as runner:
+        for name, spec in specs.items():
+            result = run_scenario(spec, runner=runner).result
+            spike_window = result.slice(WARMUP_S)
+            tardiness = spike_window.tails_ms / workload.target_latency_ms
+            print(f"--- {name} ---")
+            print(series_block("tardiness (1.0 = target)", tardiness))
+            violations = int(np.sum(tardiness > 1.0))
+            print(
+                f"  violations during spike window: {violations}/{len(spike_window)} "
+                f"intervals, worst tardiness {float(np.max(tardiness)):.1f}\n"
+            )
 
 
 if __name__ == "__main__":

@@ -1,47 +1,50 @@
 """Quickstart: run HipsterIn on Memcached over a compressed diurnal day.
 
-This is the smallest end-to-end use of the library: build the calibrated
-Juno R1 platform, pick a workload and a load trace, run a task manager,
-and read the QoS/energy summary.
+This is the smallest end-to-end use of the library, written against the
+stable facade (:mod:`repro.api`): name a scenario family, let the
+registry build the frozen spec, and read the QoS/energy summary off the
+outcome.  Both runs share one runner, so the baseline and the policy
+run are batched, cached and scheduled together.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    DiurnalTrace,
-    hipster_in,
-    juno_r1,
-    memcached,
-    run_experiment,
-    static_all_big,
-)
+from repro.api import open_runner, run_scenario
+from repro.scenarios.factories import build_workload
+
 
 def main() -> None:
-    platform = juno_r1()
-    workload = memcached()
-    trace = DiurnalTrace(duration_s=600, seed=11)
+    with open_runner() as runner:
+        # The energy reference: both big cores pinned at maximum DVFS.
+        baseline = run_scenario(
+            "diurnal-policy",
+            workload="memcached",
+            manager="static-big",
+            quick=True,
+            runner=runner,
+        )
+        # HipsterIn: heuristic-guided learning, then Q-table exploitation.
+        outcome = run_scenario(
+            "diurnal-policy",
+            workload="memcached",
+            manager="hipster-in",
+            quick=True,
+            runner=runner,
+        )
 
-    # The energy reference: both big cores pinned at maximum DVFS.
-    baseline = run_experiment(
-        platform, workload, trace, static_all_big(platform), seed=1
-    )
-
-    # HipsterIn: heuristic-guided learning, then Q-table exploitation.
-    manager = hipster_in()
-    result = run_experiment(platform, workload, trace, manager, seed=1)
-
+    result, reference = outcome.result, baseline.result
+    workload = build_workload(outcome.spec.workload)
+    print(f"scenario:        {outcome.spec.label}")
     print(f"workload:        {workload.name} (p95 <= {workload.target_latency_ms} ms)")
     print(f"QoS guarantee:   {result.qos_guarantee() * 100:.1f}%")
     print(f"QoS tardiness:   {result.qos_tardiness():.2f}")
     print(f"mean power:      {result.mean_power_w():.2f} W "
-          f"(static-big: {baseline.mean_power_w():.2f} W)")
-    print(f"energy saved:    {result.energy_reduction_vs(baseline) * 100:.1f}%")
+          f"(static-big: {reference.mean_power_w():.2f} W)")
+    print(f"energy saved:    {result.energy_reduction_vs(reference) * 100:.1f}%")
     print(f"migrations:      {result.migration_events()}")
-    print(f"manager phase:   {manager.phase.value} "
-          f"({manager.phase_switches} switches, "
-          f"{len(manager.table)} lookup-table entries)")
+    print(f"phase switches:  {outcome.stat('phase_switches')}")
 
 
 if __name__ == "__main__":

@@ -17,17 +17,16 @@ The package is organized as the paper's system plus everything it runs on:
 * :mod:`repro.metrics` -- QoS guarantee / tardiness / energy summaries;
 * :mod:`repro.experiments` -- one module per paper table and figure.
 
-Quickstart::
+Quickstart (the stable facade lives in :mod:`repro.api`)::
 
-    from repro import (juno_r1, memcached, DiurnalTrace, hipster_in,
-                       run_experiment)
+    from repro.api import run_scenario
 
-    platform = juno_r1()
-    result = run_experiment(platform, memcached(),
-                            DiurnalTrace(duration_s=600), hipster_in())
-    print(result.qos_guarantee(), result.mean_power_w())
+    outcome = run_scenario("diurnal-policy", workload="memcached",
+                           manager="hipster-in", quick=True)
+    print(outcome.result.qos_guarantee(), outcome.result.mean_power_w())
 """
 
+from repro.api import open_runner, run_pack, run_scenario, sweep
 from repro.core import (
     Hipster,
     HipsterHeuristicPolicy,
@@ -38,12 +37,20 @@ from repro.core import (
 )
 from repro.fleet import FleetOutcome, FleetSpec, run_fleet
 from repro.hardware import Configuration, juno_r1
+from repro.errors import (
+    PackError,
+    ReproError,
+    UnknownNameError,
+    UnknownParamError,
+)
 from repro.loadgen import (
     ConcatTrace,
     ConstantTrace,
     DiurnalTrace,
     LoadTrace,
+    MMPPTrace,
     RampTrace,
+    ReplayTrace,
     SampledTrace,
     SpikeTrace,
     StepTrace,
@@ -95,20 +102,30 @@ __all__ = [
     "IntervalSimulator",
     "LatencyCriticalWorkload",
     "LoadTrace",
+    "MMPPTrace",
     "OctopusMan",
+    "PackError",
     "RampTrace",
+    "ReplayTrace",
+    "ReproError",
     "SampledTrace",
     "SpikeTrace",
     "StaticPolicy",
     "StepTrace",
     "TaskManager",
+    "UnknownNameError",
+    "UnknownParamError",
     "Variant",
     "hipster_co",
     "hipster_in",
     "juno_r1",
     "memcached",
+    "open_runner",
     "run_experiment",
     "run_fleet",
+    "run_pack",
+    "run_scenario",
+    "sweep",
     "spec_job_set",
     "spec_mix",
     "static_all_big",

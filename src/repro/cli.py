@@ -8,6 +8,9 @@ Usage::
     hipster-repro calibrate
     hipster-repro all --quick --jobs 4 --cache-dir .hipster-cache
     hipster-repro fleet --quick --nodes 64 --balancer power-aware --jobs 4
+    hipster-repro pack validate packs/*.yaml
+    hipster-repro pack list
+    hipster-repro pack run packs/ci-smoke.yaml --jobs 2 --output summary.json
     hipster-repro bench --output BENCH_engine.json
     hipster-repro bench-batch --output BENCH_batch.json
 
@@ -18,12 +21,16 @@ experiment of the invocation, and ``--cache-dir`` adds the on-disk
 cache tier keyed by scenario fingerprint, so repeated ``all``
 invocations only re-run what changed (duplicates within one invocation
 are served by the in-process tier either way).  ``fleet`` simulates a
-multi-node cluster (see :mod:`repro.fleet`); its node runs fan out over
-the same pool and cache.  ``bench`` runs the interval-engine
-micro-benchmark (see :mod:`repro.sim.bench`) and ``bench-batch`` the
-batch-layer one (see :mod:`repro.sim.bench_batch`); they write the
-performance trajectories to ``BENCH_engine.json`` /
-``BENCH_batch.json``.
+multi-node cluster (see :mod:`repro.fleet`); ``pack`` validates, lists
+or runs declarative scenario packs (see :mod:`repro.packs`); ``bench``
+runs the interval-engine micro-benchmark (see :mod:`repro.sim.bench`)
+and ``bench-batch`` the batch-layer one (see
+:mod:`repro.sim.bench_batch`); they write the performance trajectories
+to ``BENCH_engine.json`` / ``BENCH_batch.json``.
+
+Flag applicability is enforced by one shared validator table
+(:data:`_FLAG_RULES`): a flag a command would silently ignore is a
+``parser.error``, with the same message shape everywhere.
 """
 
 from __future__ import annotations
@@ -52,6 +59,109 @@ _DEFAULT_WORKLOAD = "memcached"
 _DEFAULT_FLEET_NODES = 8
 _DEFAULT_BALANCER = "round-robin"
 
+#: The benchmark protocols are fixed (seed, run lengths, worker counts)
+#: so their numbers stay comparable; they reject the run-shaping knobs.
+_FIXED_PROTOCOL = {"bench", "bench-batch"}
+
+#: The actions ``hipster-repro pack`` accepts.
+_PACK_ACTIONS = ("validate", "list", "run")
+
+#: Directory the pack commands fall back to when no files are given.
+_DEFAULT_PACK_DIR = "packs"
+
+
+def _applies_everywhere_but_fixed(command: str) -> bool:
+    return command not in _FIXED_PROTOCOL
+
+
+#: The shared flag-validator table: ``(flag, attr, is_set, applies,
+#: targets)``.  ``is_set`` detects a non-default value, ``applies``
+#: decides whether the command consumes the flag, and ``targets``
+#: renders the commands that do.  Every rule produces the same message
+#: shape through :func:`_validate_flags`, so adding a flag (or a
+#: command) is one table row instead of another ad-hoc ``if``.
+_FLAG_RULES = (
+    (
+        "--workload",
+        "workload",
+        lambda v: v is not None,
+        lambda c: c in _WORKLOAD_EXPERIMENTS or c == "all",
+        lambda: f"{', '.join(sorted(_WORKLOAD_EXPERIMENTS))} (and 'all')",
+    ),
+    (
+        "--nodes",
+        "nodes",
+        lambda v: v is not None,
+        lambda c: c == "fleet",
+        lambda: "'fleet'",
+    ),
+    (
+        "--balancer",
+        "balancer",
+        lambda v: v is not None,
+        lambda c: c == "fleet",
+        lambda: "'fleet'",
+    ),
+    (
+        "--quick",
+        "quick",
+        lambda v: bool(v),
+        _applies_everywhere_but_fixed,
+        lambda: "experiment, fleet and pack commands",
+    ),
+    (
+        "--seed",
+        "seed",
+        lambda v: v is not None,
+        lambda c: c not in _FIXED_PROTOCOL and c != "pack",
+        lambda: "experiment and fleet commands (pack documents pin their own seeds)",
+    ),
+    (
+        "--jobs",
+        "jobs",
+        lambda v: v != 1,
+        _applies_everywhere_but_fixed,
+        lambda: "experiment, fleet and pack commands",
+    ),
+    (
+        "--cache-dir",
+        "cache_dir",
+        lambda v: v is not None,
+        _applies_everywhere_but_fixed,
+        lambda: "experiment, fleet and pack commands",
+    ),
+    (
+        "--output",
+        "output",
+        lambda v: v is not None,
+        lambda c: c in _FIXED_PROTOCOL or c == "pack",
+        lambda: "'bench', 'bench-batch' and 'pack run'",
+    ),
+    (
+        "pack arguments",
+        "pack_args",
+        lambda v: bool(v),
+        lambda c: c == "pack",
+        lambda: "'pack'",
+    ),
+)
+
+
+def _validate_flags(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject any flag the selected command would silently ignore."""
+    command = args.experiment
+    for flag, attr, is_set, applies, targets in _FLAG_RULES:
+        if not is_set(getattr(args, attr)) or applies(command):
+            continue
+        if command in _FIXED_PROTOCOL:
+            parser.error(
+                f"{flag} does not apply to '{command}' (fixed protocol)"
+            )
+        verb = "applies" if flag.startswith("--") else "apply"
+        parser.error(
+            f"{flag} only {verb} to {targets()}; '{command}' ignores it"
+        )
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
@@ -62,11 +172,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["bench", "bench-batch", "calibrate", "all", "fleet"],
+        + ["bench", "bench-batch", "calibrate", "all", "fleet", "pack"],
         help=(
             "which artifact to regenerate ('fleet' simulates a cluster, "
+            "'pack' validates/lists/runs scenario packs, "
             "'bench' records the engine performance trajectory, "
             "'bench-batch' the batch-layer one)"
+        ),
+    )
+    parser.add_argument(
+        "pack_args",
+        nargs="*",
+        metavar="pack-arg",
+        help=(
+            "for 'pack': an action (validate|list|run) followed by pack "
+            "files (defaults to the packs/ directory)"
         ),
     )
     parser.add_argument(
@@ -167,12 +287,117 @@ def _run_calibration(runner: BatchRunner) -> str:
     return "\n".join(lines)
 
 
+def _pack_files(
+    parser: argparse.ArgumentParser, names: Sequence[str]
+) -> list:
+    """Resolve pack-file arguments, defaulting to the packs/ directory."""
+    from pathlib import Path
+
+    if not names:
+        pack_dir = Path(_DEFAULT_PACK_DIR)
+        if not pack_dir.is_dir():
+            parser.error(
+                f"no pack files given and no {_DEFAULT_PACK_DIR}/ directory here"
+            )
+        files = sorted(
+            [*pack_dir.glob("*.yaml"), *pack_dir.glob("*.yml"),
+             *pack_dir.glob("*.json")]
+        )
+        if not files:
+            parser.error(f"no pack files in {pack_dir}/")
+        return files
+    return [Path(name) for name in names]
+
+
+def _run_pack_command(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> int:
+    """Dispatch ``pack validate|list|run`` (errors via ``parser.error``)."""
+    from repro.errors import ReproError
+    from repro.packs import compile_pack, load_pack, run_pack
+
+    if not args.pack_args:
+        parser.error(
+            f"'pack' needs an action: {', '.join(_PACK_ACTIONS)}"
+        )
+    action, *names = args.pack_args
+    if action not in _PACK_ACTIONS:
+        from repro.errors import suggest
+
+        message = (
+            f"unknown pack action {action!r}; "
+            f"valid choices: {', '.join(_PACK_ACTIONS)}"
+        )
+        best = suggest(action, _PACK_ACTIONS)
+        if best is not None:
+            message += f" (did you mean {best!r}?)"
+        parser.error(message)
+    files = _pack_files(parser, names)
+    quick = True if args.quick else None
+
+    def _pack_error(file, err) -> str:
+        message = str(err)
+        return message if message.startswith(str(file)) else f"{file}: {message}"
+
+    if action == "validate":
+        for file in files:
+            try:
+                pack = compile_pack(load_pack(file), quick=quick)
+                pack.validate_buildable()
+            except ReproError as err:
+                parser.error(_pack_error(file, err))
+            print(f"{file}: OK ({pack.name}, {len(pack.items)} run(s))")
+        return 0
+
+    if action == "list":
+        rows = []
+        for file in files:
+            try:
+                pack = compile_pack(load_pack(file), quick=quick)
+            except ReproError as err:
+                parser.error(_pack_error(file, err))
+            rows.append(
+                [pack.name, str(len(pack.items)), str(file), pack.description]
+            )
+        from repro.experiments.reporting import ascii_table
+
+        print(ascii_table(["pack", "runs", "file", "description"], rows))
+        return 0
+
+    # action == "run"
+    import json
+
+    summaries = []
+    with BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir) as runner:
+        for file in files:
+            try:
+                pack = compile_pack(load_pack(file), quick=quick)
+                pack.validate_buildable()
+            except ReproError as err:
+                parser.error(_pack_error(file, err))
+            t0 = time.perf_counter()
+            result = run_pack(pack, runner=runner)
+            print(result.render())
+            print()
+            summaries.append(result.summary())
+            _report_stats(runner, [(pack.name, time.perf_counter() - t0)])
+    if args.output is not None:
+        from pathlib import Path
+
+        payload = summaries[0] if len(summaries) == 1 else summaries
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.nodes is not None and args.nodes < 1:
+        parser.error("--nodes must be >= 1")
     if args.cache_dir is not None:
         from pathlib import Path
 
@@ -180,43 +405,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 f"--cache-dir {args.cache_dir!r} exists and is not a directory"
             )
-    if args.output is not None and args.experiment not in ("bench", "bench-batch"):
-        parser.error(
-            f"--output only applies to 'bench' and 'bench-batch'; "
-            f"'{args.experiment}' ignores it"
-        )
-    if args.experiment in ("bench", "bench-batch"):
-        # The benchmark protocols are fixed (seed, run lengths, worker
-        # counts) so their numbers stay comparable; reject knobs they
-        # would silently ignore.
-        name = args.experiment
-        if args.quick:
-            parser.error(f"--quick does not apply to '{name}'")
-        if args.seed is not None:
-            parser.error(f"--seed does not apply to '{name}' (fixed protocol)")
-        if args.jobs != 1:
-            parser.error(f"--jobs does not apply to '{name}' (fixed protocol)")
-        if args.cache_dir is not None:
-            parser.error(f"--cache-dir does not apply to '{name}'")
+    _validate_flags(parser, args)
+    if args.experiment == "pack":
+        return _run_pack_command(parser, args)
     if args.seed is None:
         args.seed = DEFAULT_SEED
-    workload_aware = (
-        args.experiment in _WORKLOAD_EXPERIMENTS or args.experiment == "all"
-    )
-    if args.workload is not None and not workload_aware:
-        parser.error(
-            f"--workload only applies to {', '.join(sorted(_WORKLOAD_EXPERIMENTS))} "
-            f"(and 'all'); '{args.experiment}' ignores it"
-        )
-    if args.experiment != "fleet":
-        for flag in ("nodes", "balancer"):
-            if getattr(args, flag) is not None:
-                parser.error(
-                    f"--{flag} only applies to 'fleet'; "
-                    f"'{args.experiment}' ignores it"
-                )
-    elif args.nodes is not None and args.nodes < 1:
-        parser.error("--nodes must be >= 1")
 
     if args.experiment == "bench":
         from repro.sim.bench import render_report, write_report

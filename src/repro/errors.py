@@ -1,0 +1,101 @@
+"""The library's user-facing error types.
+
+Every error a caller can trigger by naming or parameterizing something
+wrongly derives from :class:`ReproError`, so the public facade
+(:mod:`repro.api`) and the CLI can catch one type and surface a clean,
+actionable message.  The concrete classes double-inherit from the
+builtin exceptions the pre-facade code raised (``KeyError`` /
+``TypeError`` / ``ValueError``), so callers written against the old
+contracts keep working.
+
+Messages are *actionable* by construction: an unknown name lists the
+valid choices and appends a ``difflib``-based "did you mean" suggestion
+when one is close enough.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Sequence
+
+
+def suggest(name: str, choices: Iterable[str]) -> str | None:
+    """The closest valid choice to ``name``, if any is plausibly meant."""
+    matches = difflib.get_close_matches(name, list(choices), n=1, cutoff=0.5)
+    return matches[0] if matches else None
+
+
+def _choices_clause(name: str, choices: Sequence[str]) -> str:
+    clause = f"valid choices: {', '.join(sorted(choices))}"
+    best = suggest(name, choices)
+    if best is not None:
+        clause += f" (did you mean {best!r}?)"
+    return clause
+
+
+class ReproError(Exception):
+    """Base class of every error the public API raises on bad input."""
+
+
+class UnknownNameError(ReproError, KeyError):
+    """An unknown registry key: scenario family, workload, manager, ...
+
+    ``str()`` returns the full actionable message (``KeyError``'s default
+    ``repr``-of-args rendering is overridden), so the CLI can hand it to
+    ``parser.error`` verbatim.
+    """
+
+    def __init__(self, kind: str, name: str, choices: Sequence[str]):
+        message = f"unknown {kind} {name!r}; {_choices_clause(name, choices)}"
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.choices = tuple(sorted(choices))
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class UnknownParamError(ReproError, TypeError):
+    """Unknown keyword argument(s) for a known factory or family."""
+
+    def __init__(
+        self, target: str, unknown: Sequence[str], accepted: Sequence[str]
+    ):
+        parts = []
+        for name in sorted(unknown):
+            clause = f"unknown parameter {name!r}"
+            best = suggest(name, accepted)
+            if best is not None:
+                clause += f" (did you mean {best!r}?)"
+            parts.append(clause)
+        message = (
+            f"{target}: {'; '.join(parts)}; "
+            f"accepted parameters: {', '.join(sorted(accepted))}"
+        )
+        super().__init__(message)
+        self.target = target
+        self.unknown = tuple(sorted(unknown))
+        self.accepted = tuple(sorted(accepted))
+
+
+class PackError(ReproError, ValueError):
+    """A scenario pack failed to parse, validate or compile.
+
+    ``path`` locates the offending clause inside the pack document
+    (e.g. ``scenarios[2].trace.kind``) and is prepended to the message.
+    """
+
+    def __init__(self, message: str, *, path: str = ""):
+        full = f"{path}: {message}" if path else message
+        super().__init__(full)
+        self.path = path
+
+
+__all__ = [
+    "PackError",
+    "ReproError",
+    "UnknownNameError",
+    "UnknownParamError",
+    "suggest",
+]

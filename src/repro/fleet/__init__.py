@@ -25,21 +25,46 @@ from repro.fleet.balancer import (
     RoundRobinBalancer,
     build_balancer,
 )
+from repro.fleet.faults import (
+    FAULT_KINDS,
+    FaultClause,
+    FaultEvent,
+    capacity_multipliers,
+    lower_faults,
+)
 from repro.fleet.spec import FLEET_SCHEMA_VERSION, FleetSpec
 
 
 def run_fleet(spec: FleetSpec, runner=None) -> FleetOutcome:
-    """Run a fleet spec through a batch runner (see :meth:`FleetSpec.run`)."""
+    """Run a fleet spec through a batch runner (see :meth:`FleetSpec.run`).
+
+    .. deprecated:: 1.1
+       Use :func:`repro.api.run_scenario` (or :meth:`FleetSpec.run`)
+       instead; this shim forwards and will be removed.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.fleet.run_fleet is deprecated; use repro.api.run_scenario "
+        "or FleetSpec.run instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return spec.run(runner)
 
 
 __all__ = [
     "BALANCER_FACTORIES",
+    "FAULT_KINDS",
     "FLEET_SCHEMA_VERSION",
+    "FaultClause",
+    "FaultEvent",
     "FleetAccumulator",
     "FleetOutcome",
     "FleetSpec",
     "NodeReduction",
+    "capacity_multipliers",
+    "lower_faults",
     "LeastLoadedBalancer",
     "LoadBalancer",
     "PowerAwareBalancer",

@@ -88,9 +88,11 @@ class FleetAccumulator:
         self._node_qos = np.empty(n)
         self._node_utils = np.empty(n)
         self._node_loads = np.empty(n)
+        self._node_targets = np.empty(n)
         self._total_energy = 0.0
         self._fleet_tails: np.ndarray | None = None
         self._fleet_powers: np.ndarray | None = None
+        self._fleet_ratio: np.ndarray | None = None
         self._target: float | None = None
         self._n_intervals: int | None = None
         self._next = 0
@@ -115,6 +117,7 @@ class FleetAccumulator:
             self._target = node.target_latency_ms
             self._fleet_tails = node.tails_ms.copy()
             self._fleet_powers = node.powers_w.copy()
+            self._fleet_ratio = node.tails_ms / node.target_latency_ms
         else:
             if node.n_intervals != self._n_intervals:
                 raise ValueError(
@@ -123,11 +126,21 @@ class FleetAccumulator:
                 )
             np.maximum(self._fleet_tails, node.tails_ms, out=self._fleet_tails)
             self._fleet_powers += node.powers_w
+            # Normalized tail-of-tails: the per-interval worst node
+            # *relative to its own target* -- on a heterogeneous fleet
+            # (mixed workloads, different targets) the absolute max is
+            # not what violates QoS.
+            np.maximum(
+                self._fleet_ratio,
+                node.tails_ms / node.target_latency_ms,
+                out=self._fleet_ratio,
+            )
         i = node.index
         self._node_powers[i] = node.mean_power_w
         self._node_qos[i] = node.qos_guarantee
         self._node_utils[i] = node.mean_utilization
         self._node_loads[i] = node.mean_load
+        self._node_targets[i] = node.target_latency_ms
         self._total_energy += node.total_energy_j
 
     def finish(self) -> "FleetOutcome":
@@ -148,6 +161,8 @@ class FleetAccumulator:
             fleet_powers=self._fleet_powers,
             total_energy=self._total_energy,
             target_latency_ms=self._target,
+            node_targets=self._node_targets,
+            fleet_ratio=self._fleet_ratio,
         )
 
 
@@ -170,6 +185,12 @@ class FleetOutcome:
     fleet_powers: np.ndarray
     total_energy: float
     target_latency_ms: float
+    #: Per-node QoS targets (ms); ``None`` means every node shares
+    #: ``target_latency_ms`` (pre-heterogeneity outcomes).
+    node_targets: np.ndarray | None = None
+    #: Per-interval max of (node tail / node target): the normalized
+    #: tail-of-tails a mixed-workload fleet is judged by.
+    fleet_ratio: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if len(self.node_powers_w) < 1:
@@ -181,8 +202,11 @@ class FleetOutcome:
             self.node_loads,
             self.fleet_tails,
             self.fleet_powers,
+            self.node_targets,
+            self.fleet_ratio,
         ):
-            arr.flags.writeable = False
+            if arr is not None:
+                arr.flags.writeable = False
 
     @classmethod
     def from_node_outcomes(
@@ -235,14 +259,34 @@ class FleetOutcome:
         """Tail-of-tails per interval: the worst node's tail latency."""
         return self.fleet_tails
 
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether nodes ran against different QoS targets (mixed
+        workloads behind one balancer)."""
+        return self.node_targets is not None and bool(
+            np.ptp(self.node_targets) > 0.0
+        )
+
     def fleet_qos_guarantee(self) -> float:
-        """Fraction of intervals in which *every* node met the target."""
+        """Fraction of intervals in which *every* node met its target.
+
+        Homogeneous fleets keep the original absolute formulation
+        (bit-identical to pre-heterogeneity outputs); a mixed-workload
+        fleet judges each node against its own workload's target via
+        the normalized tail-of-tails.
+        """
+        if self.is_heterogeneous:
+            return float(np.mean(self.fleet_ratio <= 1.0))
         return float(np.mean(self.fleet_tails <= self.target_latency_ms))
 
     def fleet_qos_tardiness(self) -> float:
         """Mean tail-of-tails overshoot over violating intervals only
         (0.0 when nothing violates, matching the single-node
-        :func:`repro.sim.latency.qos_tardiness` convention)."""
+        :func:`repro.sim.latency.qos_tardiness` convention).  On a
+        heterogeneous fleet the overshoot is measured on the normalized
+        (per-node-target) tail-of-tails."""
+        if self.is_heterogeneous:
+            return qos_tardiness(self.fleet_ratio, 1.0)
         return qos_tardiness(self.fleet_tails, self.target_latency_ms)
 
     def utilization_skew(self) -> float:
@@ -277,22 +321,41 @@ class FleetOutcome:
         from repro.experiments.reporting import ascii_table, series_block
 
         capacities = self.spec.node_capacities()
+        # Heterogeneity / fault hooks: extra columns and a fault-event
+        # line appear only when the spec uses them, so plain fleet
+        # reports stay byte-identical to the pre-pack layout.
+        hetero = self.spec.is_heterogeneous()
+        workloads = self.spec.node_workloads() if hetero else None
+        node_columns = ["node", "capacity", "mean load", "QoS", "power", "util"]
+        if hetero:
+            node_columns.insert(1, "workload")
         rows = []
         for index in range(self.n_nodes):
-            rows.append(
-                [
-                    f"node{index:02d}",
-                    f"{capacities[index]:.3f}",
-                    f"{self.node_loads[index] * 100:.1f}%",
-                    f"{self.node_qos[index] * 100:.1f}%",
-                    f"{self.node_powers_w[index]:.2f}W",
-                    f"{self.node_utils[index]:.2f}",
-                ]
+            row = [
+                f"node{index:02d}",
+                f"{capacities[index]:.3f}",
+                f"{self.node_loads[index] * 100:.1f}%",
+                f"{self.node_qos[index] * 100:.1f}%",
+                f"{self.node_powers_w[index]:.2f}W",
+                f"{self.node_utils[index]:.2f}",
+            ]
+            if hetero:
+                row.insert(1, workloads[index])
+            rows.append(row)
+        fault_lines = []
+        events = self.spec.fault_schedule()
+        if events:
+            rendered = ", ".join(
+                f"node{e.node:02d}:{e.kind}@[{e.start_interval},"
+                f"{e.end_interval})"
+                for e in events
             )
+            fault_lines.append(f"faults: {len(events)} event(s) -- {rendered}")
         return "\n".join(
             [
                 f"Fleet -- {self.spec.describe()} "
                 f"({self.n_nodes} nodes, balancer={self.spec.balancer})",
+                *fault_lines,
                 series_block("fleet power (W)", self.fleet_powers_w(), unit="W"),
                 series_block(
                     "tail-of-tails (ms)", self.fleet_tails_ms(), unit="ms"
@@ -314,7 +377,7 @@ class FleetOutcome:
                     ],
                 ),
                 ascii_table(
-                    ["node", "capacity", "mean load", "QoS", "power", "util"],
+                    node_columns,
                     rows,
                     title="Per-node breakdown:",
                 ),

@@ -215,7 +215,9 @@ def build_balancer(name: str, params=()) -> LoadBalancer:
     try:
         factory = BALANCER_FACTORIES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown balancer {name!r}; available: {sorted(BALANCER_FACTORIES)}"
+        from repro.errors import UnknownNameError
+
+        raise UnknownNameError(
+            "balancer", name, sorted(BALANCER_FACTORIES)
         ) from None
     return factory(**dict(params))

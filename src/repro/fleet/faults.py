@@ -1,0 +1,252 @@
+"""Fleet fault injection: probabilistic clauses, deterministic schedules.
+
+Real clusters lose nodes, inherit degraded boards and grow stragglers
+mid-run (the Monte Cimone characterization makes all three routine).
+A scenario pack *declares* faults probabilistically -- "each node dies
+with probability 0.2 somewhere after t=300 s" -- but the execution
+substrate only ever sees plain frozen specs, so the probabilistic
+clause must **lower** into a concrete, seed-derived schedule before
+expansion.  That split keeps every determinism property the repo is
+built on: the same fleet spec (clauses + seed) always lowers to the
+same events, the events reshape the per-node trace levels at expansion
+time, and the resulting node specs are ordinary cacheable
+:class:`~repro.scenarios.spec.ScenarioSpec`s -- serial and ``--jobs N``
+runs are byte-identical because the schedule is fixed before any worker
+starts.
+
+Fault semantics (documented in the README's pack reference):
+
+* ``node-death`` -- the node drains to zero offered load from its death
+  interval onward; the balancer re-splits the *whole* fleet load across
+  the survivors (the board keeps drawing idle power).
+* ``degradation`` -- the node's effective capacity is multiplied by
+  ``factor`` (< 1) from onset to the end of the run; capacity-aware
+  balancers send it less work, and whatever it still receives inflates
+  its utilization by ``1/factor``.
+* ``straggler`` -- a temporary ``degradation``: the slowdown holds for
+  ``duration_s`` seconds, then the node recovers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UnknownNameError, UnknownParamError
+from repro.scenarios.spec import Params, ParamsLike, freeze_params
+
+#: XORed into the fleet seed for the fault-schedule rng stream so fault
+#: draws never alias node seeds or capacity jitter.
+_FAULT_SEED_SALT = 0xFA57ED
+
+#: Clause kinds and the parameters each accepts beyond ``kind``.
+FAULT_KINDS: dict[str, tuple[str, ...]] = {
+    "node-death": ("probability", "earliest_s", "latest_s"),
+    "degradation": ("probability", "factor", "earliest_s", "latest_s"),
+    "straggler": (
+        "probability",
+        "slowdown",
+        "duration_s",
+        "earliest_s",
+        "latest_s",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One validated fault clause (the declarative form).
+
+    ``probability`` is per node: every node draws independently.  The
+    onset time is uniform in ``[earliest_s, latest_s]`` (``latest_s``
+    defaults to the end of the trace).  ``factor`` (degradation) is the
+    capacity multiplier; ``slowdown`` (straggler) is the service-time
+    multiplier, i.e. a capacity factor of ``1/slowdown``.
+    """
+
+    kind: str
+    probability: float
+    factor: float = 1.0
+    slowdown: float = 1.0
+    duration_s: float = 0.0
+    earliest_s: float = 0.0
+    latest_s: float | None = None
+
+    @classmethod
+    def from_params(cls, params: ParamsLike) -> "FaultClause":
+        """Validate a frozen/mapping clause into a :class:`FaultClause`."""
+        fields = dict(freeze_params(params))
+        kind = fields.pop("kind", None)
+        if kind is None:
+            raise ValueError("a fault clause needs a 'kind'")
+        if kind not in FAULT_KINDS:
+            raise UnknownNameError("fault kind", str(kind), sorted(FAULT_KINDS))
+        accepted = FAULT_KINDS[kind]
+        unknown = sorted(set(fields) - set(accepted))
+        if unknown:
+            raise UnknownParamError(
+                f"fault clause {kind!r}", unknown, accepted
+            )
+        if "probability" not in fields:
+            raise ValueError(f"fault clause {kind!r} needs a 'probability'")
+        probability = float(fields["probability"])
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("fault probability must be within [0, 1]")
+        earliest = float(fields.get("earliest_s", 0.0))
+        if earliest < 0:
+            raise ValueError("earliest_s must be non-negative")
+        latest = fields.get("latest_s")
+        if latest is not None:
+            latest = float(latest)
+            if latest < earliest:
+                raise ValueError("latest_s must be >= earliest_s")
+        clause = cls(
+            kind=kind,
+            probability=probability,
+            earliest_s=earliest,
+            latest_s=latest,
+        )
+        if kind == "degradation":
+            if "factor" not in fields:
+                raise ValueError("a degradation clause needs a 'factor'")
+            factor = float(fields["factor"])
+            if not 0.0 < factor < 1.0:
+                raise ValueError("degradation factor must be in (0, 1)")
+            clause = cls(
+                kind=kind,
+                probability=probability,
+                factor=factor,
+                earliest_s=earliest,
+                latest_s=latest,
+            )
+        elif kind == "straggler":
+            if "slowdown" not in fields:
+                raise ValueError("a straggler clause needs a 'slowdown'")
+            if "duration_s" not in fields:
+                raise ValueError("a straggler clause needs a 'duration_s'")
+            slowdown = float(fields["slowdown"])
+            duration = float(fields["duration_s"])
+            if slowdown <= 1.0:
+                raise ValueError("straggler slowdown must be > 1")
+            if duration <= 0:
+                raise ValueError("straggler duration_s must be positive")
+            clause = cls(
+                kind=kind,
+                probability=probability,
+                slowdown=slowdown,
+                duration_s=duration,
+                earliest_s=earliest,
+                latest_s=latest,
+            )
+        return clause
+
+    def capacity_multiplier(self) -> float:
+        """The per-interval capacity factor this clause applies."""
+        if self.kind == "node-death":
+            return 0.0
+        if self.kind == "degradation":
+            return self.factor
+        return 1.0 / self.slowdown
+
+
+def freeze_clauses(clauses) -> tuple[Params, ...]:
+    """Normalize a clause list (mappings or frozen pairs) into frozen
+    params, validating each clause along the way."""
+    frozen = tuple(freeze_params(clause) for clause in clauses)
+    for clause in frozen:
+        FaultClause.from_params(clause)
+    return frozen
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One lowered fault: a node, an interval window, a capacity factor.
+
+    ``multiplier`` is 0.0 for a death, the capacity factor otherwise;
+    the window is half-open ``[start_interval, end_interval)``.
+    """
+
+    node: int
+    kind: str
+    start_interval: int
+    end_interval: int
+    multiplier: float
+
+
+def lower_faults(
+    clauses: tuple[Params, ...],
+    *,
+    seed: int,
+    n_nodes: int,
+    n_intervals: int,
+    interval_s: float,
+) -> tuple[FaultEvent, ...]:
+    """Lower probabilistic clauses into a deterministic event schedule.
+
+    The draw order is fixed -- clauses in declared order, nodes in index
+    order, and every (clause, node) pair consumes exactly two variates
+    (fire? and onset time) whether or not the fault fires -- so editing
+    one clause's probability never reshuffles the events another clause
+    produces.  The rng stream is derived from the fleet seed alone.
+    """
+    if not clauses:
+        return ()
+    rng = np.random.default_rng(seed ^ _FAULT_SEED_SALT)
+    duration_s = n_intervals * interval_s
+    events: list[FaultEvent] = []
+    for clause_params in clauses:
+        clause = FaultClause.from_params(clause_params)
+        latest = clause.latest_s if clause.latest_s is not None else duration_s
+        latest = min(latest, duration_s)
+        earliest = min(clause.earliest_s, latest)
+        for node in range(n_nodes):
+            fire = float(rng.random())
+            onset_s = float(rng.uniform(earliest, latest))
+            if fire >= clause.probability:
+                continue
+            start = min(int(onset_s / interval_s), n_intervals)
+            if clause.kind == "straggler":
+                end = min(
+                    start + math.ceil(clause.duration_s / interval_s),
+                    n_intervals,
+                )
+            else:
+                end = n_intervals
+            if start >= end:
+                continue
+            events.append(
+                FaultEvent(
+                    node=node,
+                    kind=clause.kind,
+                    start_interval=start,
+                    end_interval=end,
+                    multiplier=clause.capacity_multiplier(),
+                )
+            )
+    return tuple(events)
+
+
+def capacity_multipliers(
+    events: tuple[FaultEvent, ...], *, n_nodes: int, n_intervals: int
+) -> np.ndarray:
+    """The ``(n_intervals, n_nodes)`` effective-capacity multiplier
+    matrix the events compose to (overlapping events multiply; any
+    death wins)."""
+    matrix = np.ones((n_intervals, n_nodes))
+    for event in events:
+        matrix[event.start_interval : event.end_interval, event.node] *= (
+            event.multiplier
+        )
+    return matrix
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultClause",
+    "FaultEvent",
+    "capacity_multipliers",
+    "freeze_clauses",
+    "lower_faults",
+]

@@ -22,7 +22,18 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.fleet.balancer import BALANCER_FACTORIES, build_balancer
+from repro.errors import UnknownNameError
+from repro.fleet.balancer import (
+    BALANCER_FACTORIES,
+    MAX_NODE_LEVEL,
+    build_balancer,
+)
+from repro.fleet.faults import (
+    FaultEvent,
+    capacity_multipliers,
+    freeze_clauses,
+    lower_faults,
+)
 from repro.scenarios.spec import (
     DEFAULT_SEED,
     SCHEMA_VERSION,
@@ -40,7 +51,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump to invalidate fleet-derived node fingerprints when the expansion
 #: semantics change (capacity model, seed derivation, balancer contract).
-FLEET_SCHEMA_VERSION = 1
+#: 2 = fault clauses + heterogeneous workload mixes fold into the
+#: fingerprint payload (faultless homogeneous fleets still expand to
+#: byte-identical node specs, so their cached node outcomes survive).
+FLEET_SCHEMA_VERSION = 2
 
 #: Offset mixed into per-node seeds so node RNG streams never collide
 #: with the fleet seed itself or with neighbouring single-node runs.
@@ -71,8 +85,19 @@ class FleetSpec:
         0 makes the fleet perfectly homogeneous.
     manager_params / workload_params / platform / batch_jobs:
         Forwarded to every node's :class:`ScenarioSpec`.
+    workload_mix:
+        Optional heterogeneous node mix: ``{workload: node_count}``
+        pairs summing to ``n_nodes`` (e.g. memcached and websearch
+        nodes behind one balancer).  Empty means every node serves
+        ``workload``.  Nodes are assigned in sorted-workload-name
+        blocks, deterministically.
+    faults:
+        Probabilistic fault clauses (see :mod:`repro.fleet.faults`),
+        lowered into a deterministic seed-derived event schedule at
+        expansion time.
     seed:
-        Fleet seed; node seeds and capacity factors derive from it.
+        Fleet seed; node seeds, capacity factors and fault schedules
+        derive from it.
     interval_s:
         Dispatch granularity of the balancer (matches the engine's
         monitoring interval).
@@ -89,6 +114,8 @@ class FleetSpec:
     capacity_spread: float = 0.08
     manager_params: Params = ()
     workload_params: Params = ()
+    workload_mix: Params = ()
+    faults: tuple[Params, ...] = ()
     platform: str = "juno_r1"
     batch_jobs: str | None = None
     seed: int = DEFAULT_SEED
@@ -98,6 +125,8 @@ class FleetSpec:
     def __post_init__(self) -> None:
         for attr in ("balancer_params", "manager_params", "workload_params"):
             object.__setattr__(self, attr, freeze_params(getattr(self, attr)))
+        object.__setattr__(self, "workload_mix", freeze_params(self.workload_mix))
+        object.__setattr__(self, "faults", freeze_clauses(self.faults))
         if self.n_nodes < 1:
             raise ValueError("a fleet needs at least one node")
         if not 0.0 <= self.capacity_spread < 1.0:
@@ -105,22 +134,34 @@ class FleetSpec:
         if self.interval_s <= 0:
             raise ValueError("interval_s must be positive")
         if self.balancer not in BALANCER_FACTORIES:
-            raise KeyError(
-                f"unknown balancer {self.balancer!r}; "
-                f"available: {sorted(BALANCER_FACTORIES)}"
+            raise UnknownNameError(
+                "balancer", self.balancer, sorted(BALANCER_FACTORIES)
             )
+        if self.workload_mix:
+            counts = [count for _, count in self.workload_mix]
+            if any(not isinstance(c, int) or c < 1 for c in counts):
+                raise ValueError("workload_mix counts must be positive ints")
+            if sum(counts) != self.n_nodes:
+                raise ValueError(
+                    f"workload_mix counts sum to {sum(counts)}, "
+                    f"but the fleet has {self.n_nodes} nodes"
+                )
         # Node-field validation (workload/manager/platform/batch keys)
         # happens through ScenarioSpec's own __post_init__; build a probe
-        # so a bad fleet spec fails at construction, not at expansion.
-        ScenarioSpec(
-            workload=self.workload,
-            trace=self.trace,
-            manager=self.manager,
-            manager_params=self.manager_params,
-            workload_params=self.workload_params,
-            platform=self.platform,
-            batch_jobs=self.batch_jobs,
-        )
+        # per distinct workload so a bad fleet spec fails at
+        # construction, not at expansion.
+        for workload in dict.fromkeys(
+            (self.workload, *(name for name, _ in self.workload_mix))
+        ):
+            ScenarioSpec(
+                workload=workload,
+                trace=self.trace,
+                manager=self.manager,
+                manager_params=self.manager_params,
+                workload_params=self.workload_params,
+                platform=self.platform,
+                batch_jobs=self.batch_jobs,
+            )
 
     # ------------------------------------------------------------------
     # derivation
@@ -145,6 +186,8 @@ class FleetSpec:
             self.balancer,
             self.balancer_params,
             self.capacity_spread,
+            self.workload_mix,
+            self.faults,
             self.platform,
             self.batch_jobs,
             self.seed,
@@ -188,6 +231,55 @@ class FleetSpec:
         """The run seed of node ``index``."""
         return self.seed + _NODE_SEED_STRIDE * (index + 1)
 
+    def node_workloads(self) -> tuple[str, ...]:
+        """Each node's workload key (heterogeneity hook).
+
+        Homogeneous fleets serve ``workload`` everywhere; a
+        ``workload_mix`` assigns nodes in blocks, sorted by workload
+        name (the frozen-params order), so the assignment is a pure
+        function of the spec.
+        """
+        if not self.workload_mix:
+            return (self.workload,) * self.n_nodes
+        assignment: list[str] = []
+        for name, count in self.workload_mix:
+            assignment.extend([name] * count)
+        return tuple(assignment)
+
+    def is_heterogeneous(self) -> bool:
+        """Whether nodes serve more than one workload."""
+        return len(set(self.node_workloads())) > 1
+
+    # ------------------------------------------------------------------
+    # fault lowering
+    # ------------------------------------------------------------------
+
+    def fault_schedule(self) -> tuple[FaultEvent, ...]:
+        """The concrete fault events the clauses lower to.
+
+        A pure function of ``(faults, seed, n_nodes, trace length)`` --
+        computed in the parent process before any node run dispatches,
+        so serial and parallel executions see the same schedule.
+        """
+        if not self.faults:
+            return ()
+        n_intervals = len(self.fleet_loads())
+        return lower_faults(
+            self.faults,
+            seed=self.seed,
+            n_nodes=self.n_nodes,
+            n_intervals=n_intervals,
+            interval_s=self.interval_s,
+        )
+
+    def fault_multipliers(self) -> np.ndarray:
+        """Per-interval, per-node effective-capacity multipliers."""
+        return capacity_multipliers(
+            self.fault_schedule(),
+            n_nodes=self.n_nodes,
+            n_intervals=len(self.fleet_loads()),
+        )
+
     def node_specs(self) -> tuple[ScenarioSpec, ...]:
         """Expand into one :class:`ScenarioSpec` per node.
 
@@ -209,20 +301,30 @@ class FleetSpec:
 
         capacities = self.node_capacities()
         balancer = build_balancer(self.balancer, self.balancer_params)
-        levels = balancer.split(self.fleet_loads(), capacities)
-        base_demand_ms = factories.build_workload(
-            self.workload, self.workload_params
-        ).demand_mean_ms
+        events = self.fault_schedule()
+        if events:
+            levels = self._split_with_faults(balancer, capacities, events)
+        else:
+            # The pre-fault path, untouched: faultless fleets expand to
+            # byte-identical node specs (and cached node outcomes).
+            levels = balancer.split(self.fleet_loads(), capacities)
+        workloads = self.node_workloads()
+        base_demand_ms = {
+            workload: factories.build_workload(
+                workload, self.workload_params
+            ).demand_mean_ms
+            for workload in dict.fromkeys(workloads)
+        }
 
         specs = []
         for index in range(self.n_nodes):
             node_params = thaw_params(self.workload_params)
             node_params["demand_mean_ms"] = round(
-                base_demand_ms / capacities[index], 9
+                base_demand_ms[workloads[index]] / capacities[index], 9
             )
             specs.append(
                 ScenarioSpec(
-                    workload=self.workload,
+                    workload=workloads[index],
                     trace=TraceSpec.sampled(
                         # tolist() keeps the same doubles but hands the
                         # TraceSpec float-conversion loop Python floats,
@@ -240,6 +342,53 @@ class FleetSpec:
                 )
             )
         return tuple(specs)
+
+    def _split_with_faults(
+        self, balancer, capacities: np.ndarray, events: tuple[FaultEvent, ...]
+    ) -> np.ndarray:
+        """Balancer split under a fault schedule.
+
+        Balancers are row-pure (each interval splits independently), so
+        the trace is segmented at fault boundaries and each segment is
+        split over its *live* nodes with their effective capacities:
+        dead nodes are excluded and the survivors absorb the whole
+        fleet load; degraded/straggling nodes keep receiving work
+        according to their reduced capacity, and what they receive is
+        then inflated by the slowdown (utilization rises by
+        ``1/factor``), capped at the per-node validity bound.
+        """
+        fleet_loads = self.fleet_loads()
+        n_intervals = len(fleet_loads)
+        multipliers = capacity_multipliers(
+            events, n_nodes=self.n_nodes, n_intervals=n_intervals
+        )
+        levels = np.zeros((n_intervals, self.n_nodes))
+        # Segment boundaries: intervals where any node's multiplier flips.
+        changes = np.flatnonzero(
+            (np.diff(multipliers, axis=0) != 0.0).any(axis=1)
+        )
+        starts = np.concatenate(([0], changes + 1))
+        ends = np.concatenate((changes + 1, [n_intervals]))
+        for start, end in zip(starts, ends):
+            row = multipliers[start]
+            alive = np.flatnonzero(row > 0.0)
+            if not len(alive):
+                raise ValueError(
+                    "fault schedule kills every node "
+                    f"(intervals {start}-{end}); nothing can serve the load"
+                )
+            # The same total offered load (fleet fraction x n_nodes
+            # nominal boards) is re-expressed as a fraction of the
+            # surviving sub-fleet's nominal capacity.
+            sub_loads = fleet_loads[start:end] * (self.n_nodes / len(alive))
+            effective = capacities[alive] * row[alive]
+            split = balancer.split(sub_loads, effective)
+            # Slowdown inflation: a node at capacity factor m serves its
+            # assignment at 1/m the speed, so its offered level (fraction
+            # of its *nominal* maximum) rises accordingly.
+            split = np.minimum(split / row[alive][None, :], MAX_NODE_LEVEL)
+            levels[start:end, alive] = split
+        return levels
 
     # ------------------------------------------------------------------
     # execution

@@ -5,11 +5,13 @@ maximum); the engine turns them into Poisson request arrivals.
 """
 
 from repro.loadgen.diurnal import DiurnalTrace, diurnal_shape
+from repro.loadgen.mmpp import MMPPTrace
 from repro.loadgen.traces import (
     ConcatTrace,
     ConstantTrace,
     LoadTrace,
     RampTrace,
+    ReplayTrace,
     SampledTrace,
     SpikeTrace,
     StepTrace,
@@ -20,7 +22,9 @@ __all__ = [
     "ConstantTrace",
     "DiurnalTrace",
     "LoadTrace",
+    "MMPPTrace",
     "RampTrace",
+    "ReplayTrace",
     "SampledTrace",
     "SpikeTrace",
     "StepTrace",

@@ -1,0 +1,143 @@
+"""Markov-modulated (bursty) load: the MMPP arrival shape.
+
+Production traffic is burstier than any smooth diurnal curve: flash
+crowds, retry storms and upstream batch jobs switch a service between
+quiet and saturated regimes on second scales.  The standard stochastic
+model is the Markov-modulated Poisson process -- the arrival *rate*
+follows a continuous-time Markov chain over a small set of states, and
+within a state arrivals are Poisson.  The engine already draws Poisson
+arrivals from an offered-load level, so an MMPP trace only has to
+supply the modulating chain: a piecewise-constant load level whose
+state-dwell times are exponential with per-state means.
+
+The chain is synthesized once at construction from ``seed`` (same seed,
+same trace -- the same determinism contract every other trace obeys)
+and stored as segment boundaries, so lookups are a binary search and
+:meth:`~repro.loadgen.traces.LoadTrace.load_at_many` is the same
+``searchsorted`` vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.loadgen.traces import LoadTrace
+
+#: Hard cap on synthesized chain segments: guards against a pack typo
+#: (microsecond dwell times over an hours-long trace) allocating without
+#: bound.
+MAX_SEGMENTS = 1_000_000
+
+
+@dataclass(frozen=True)
+class MMPPTrace(LoadTrace):
+    """Bursty offered load: a Markov chain over discrete load states.
+
+    Parameters
+    ----------
+    levels:
+        Offered-load level of each chain state (at least two).
+    mean_dwell_s:
+        Mean exponential dwell time of each state, seconds (same length
+        as ``levels``).
+    duration_s:
+        Total trace length; the chain is synthesized until it covers it.
+    seed:
+        Chain seed; the same seed always yields the same state path.
+    start_state:
+        Index of the state the chain starts in.
+
+    State transitions are uniform over the *other* states (for two
+    states this is the classic on/off burst model); richer routing can
+    be expressed by duplicating states.
+    """
+
+    levels: tuple[float, ...]
+    mean_dwell_s: tuple[float, ...]
+    duration_s: float
+    seed: int = 0
+    start_state: int = 0
+    _bounds: np.ndarray = field(init=False, repr=False, compare=False)
+    _segment_levels: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __init__(
+        self,
+        levels: Sequence[float],
+        mean_dwell_s: Sequence[float],
+        duration_s: float,
+        seed: int = 0,
+        start_state: int = 0,
+    ):
+        levels = tuple(float(v) for v in levels)
+        dwells = tuple(float(d) for d in mean_dwell_s)
+        if len(levels) < 2:
+            raise ValueError("an MMPP trace needs at least two states")
+        if len(dwells) != len(levels):
+            raise ValueError(
+                "mean_dwell_s must give one dwell time per state "
+                f"({len(dwells)} dwells for {len(levels)} states)"
+            )
+        for level in levels:
+            if not 0.0 <= level <= 1.5:
+                raise ValueError("levels must be within [0, 1.5]")
+        for dwell in dwells:
+            if dwell <= 0:
+                raise ValueError("mean dwell times must be positive")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not 0 <= start_state < len(levels):
+            raise ValueError("start_state must index a state")
+        object.__setattr__(self, "levels", levels)
+        object.__setattr__(self, "mean_dwell_s", dwells)
+        object.__setattr__(self, "duration_s", float(duration_s))
+        object.__setattr__(self, "seed", int(seed))
+        object.__setattr__(self, "start_state", int(start_state))
+        bounds, seg_levels = self._synthesize()
+        object.__setattr__(self, "_bounds", bounds)
+        object.__setattr__(self, "_segment_levels", seg_levels)
+
+    def _synthesize(self) -> tuple[np.ndarray, np.ndarray]:
+        """The chain's segment end-times and per-segment levels."""
+        rng = np.random.default_rng(self.seed)
+        n_states = len(self.levels)
+        state = self.start_state
+        elapsed = 0.0
+        ends: list[float] = []
+        seg_levels: list[float] = []
+        while elapsed < self.duration_s:
+            if len(ends) >= MAX_SEGMENTS:
+                raise ValueError(
+                    f"MMPP chain exceeds {MAX_SEGMENTS} segments; "
+                    "dwell times are too short for this duration"
+                )
+            dwell = rng.exponential(self.mean_dwell_s[state])
+            elapsed = min(elapsed + dwell, self.duration_s)
+            ends.append(elapsed)
+            seg_levels.append(self.levels[state])
+            # Uniform jump to one of the other states, scalar rng order.
+            jump = int(rng.integers(0, n_states - 1))
+            state = jump if jump < state else jump + 1
+        bounds = np.asarray(ends, dtype=float)
+        bounds.flags.writeable = False
+        levels_arr = np.asarray(seg_levels, dtype=float)
+        levels_arr.flags.writeable = False
+        return bounds, levels_arr
+
+    def load_at(self, t: float) -> float:
+        t = self._check(t)
+        index = min(
+            int(np.searchsorted(self._bounds, t, side="right")),
+            len(self._segment_levels) - 1,
+        )
+        return float(self._segment_levels[index])
+
+    def load_at_many(self, times) -> np.ndarray:
+        t = self._check_many(times)
+        idx = np.minimum(
+            np.searchsorted(self._bounds, t, side="right"),
+            len(self._segment_levels) - 1,
+        )
+        return self._segment_levels[idx]

@@ -219,6 +219,84 @@ class SampledTrace(LoadTrace):
 
 
 @dataclass(frozen=True)
+class ReplayTrace(LoadTrace):
+    """Replay of a recorded load series: explicit ``(time, level)`` points.
+
+    Where :class:`SampledTrace` assumes a uniform sampling grid, a replay
+    carries its own (strictly increasing) timestamps -- the shape of a
+    production monitoring export, which samples on state changes or at
+    irregular scrape intervals.  ``interp`` selects how load between
+    points is read: ``"previous"`` holds the last recorded level (a
+    step function, the usual semantics of counter scrapes) and
+    ``"linear"`` interpolates between points.
+    """
+
+    times_s: tuple[float, ...]
+    levels: tuple[float, ...]
+    interp: str = "previous"
+    duration_s: float = 0.0
+
+    def __init__(
+        self,
+        times_s: Sequence[float],
+        levels: Sequence[float],
+        interp: str = "previous",
+        duration_s: float | None = None,
+    ):
+        if len(times_s) != len(levels):
+            raise ValueError(
+                f"times_s and levels must align ({len(times_s)} times, "
+                f"{len(levels)} levels)"
+            )
+        if not times_s:
+            raise ValueError("need at least one recorded point")
+        times = tuple(float(t) for t in times_s)
+        if times[0] < 0:
+            raise ValueError("recorded times must be non-negative")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("recorded times must be strictly increasing")
+        for level in levels:
+            if not 0.0 <= level <= 1.5:
+                raise ValueError("levels must be within [0, 1.5]")
+        if interp not in ("previous", "linear"):
+            raise ValueError(
+                f"interp must be 'previous' or 'linear', got {interp!r}"
+            )
+        if duration_s is None:
+            duration_s = times[-1] if times[-1] > 0 else 1.0
+        if duration_s < times[-1]:
+            raise ValueError("duration_s must cover the recorded points")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "levels", tuple(float(v) for v in levels))
+        object.__setattr__(self, "interp", interp)
+        object.__setattr__(self, "duration_s", float(duration_s))
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.times_s, dtype=float),
+            np.asarray(self.levels, dtype=float),
+        )
+
+    def load_at(self, t: float) -> float:
+        t = self._check(t)
+        times, levels = self._arrays()
+        if self.interp == "linear":
+            return float(np.interp(t, times, levels))
+        # "previous": the last point at or before t; times before the
+        # first recorded point hold the first level.
+        index = max(int(np.searchsorted(times, t, side="right")) - 1, 0)
+        return float(levels[index])
+
+    def load_at_many(self, times_query) -> np.ndarray:
+        t = self._check_many(times_query)
+        times, levels = self._arrays()
+        if self.interp == "linear":
+            return np.interp(t, times, levels)
+        idx = np.maximum(np.searchsorted(times, t, side="right") - 1, 0)
+        return levels[idx]
+
+
+@dataclass(frozen=True)
 class SpikeTrace(LoadTrace):
     """A sudden load spike on top of a base level (Section 2's 'sudden
     load spikes' stressor)."""

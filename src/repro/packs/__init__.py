@@ -1,0 +1,48 @@
+"""Scenario packs: a declarative YAML/JSON DSL over the spec layer.
+
+A pack names a weighted mix of scenario entries -- registry families
+with parameter sweeps, inline single-node scenarios (including the
+bursty ``mmpp`` and recorded ``replay`` trace kinds), and fleets with
+heterogeneous workload mixes and probabilistic fault clauses.  Packs
+**compile** to the same frozen, fingerprinted specs everything else in
+the repo runs on, so they inherit caching, per-spec-seed determinism
+and serial/parallel byte-identity instead of re-implementing them.
+
+Layers:
+
+* :mod:`repro.packs.model` -- document parsing (:func:`load_pack`,
+  :func:`parse_pack`) with path-addressed errors,
+* :mod:`repro.packs.compiler` -- lowering to specs
+  (:func:`compile_pack`, sweeps, weights, seed strides),
+* :mod:`repro.packs.runner` -- execution (:func:`run_pack`) with
+  pack-level batch planning.
+
+The shipped pack library lives in the repo's ``packs/`` directory; the
+CLI front end is ``hipster-repro pack validate|list|run``.
+"""
+
+from repro.errors import PackError
+from repro.packs.compiler import (
+    SEED_STRIDE,
+    CompiledPack,
+    PackItem,
+    compile_pack,
+    ensure_pack,
+)
+from repro.packs.model import Pack, PackEntry, load_pack, parse_pack
+from repro.packs.runner import PackResult, run_pack
+
+__all__ = [
+    "CompiledPack",
+    "Pack",
+    "PackEntry",
+    "PackError",
+    "PackItem",
+    "PackResult",
+    "SEED_STRIDE",
+    "compile_pack",
+    "ensure_pack",
+    "load_pack",
+    "parse_pack",
+    "run_pack",
+]

@@ -1,0 +1,293 @@
+"""Scenario-pack documents: parse YAML/JSON into a validated tree.
+
+A *pack* is a declarative experiment description -- a YAML (or JSON)
+mapping that names a weighted mix of scenario entries.  This module
+only handles the **document layer**: syntax, allowed keys, and simple
+value shapes.  Lowering entries into frozen, fingerprinted specs lives
+in :mod:`repro.packs.compiler`, so parse errors always point at the
+document (``scenarios[2].sweep``) while compile errors point at the
+registry or spec that rejected the lowered values.
+
+Document shape::
+
+    name: burst-storm                  # required
+    description: retry storms ...      # optional
+    defaults:                          # optional
+      params: {workload: memcached}    #   merged under family params
+      weight: 2                        #   default entry weight
+    scenarios:                         # required, non-empty list
+      - family: diurnal-policy         # exactly one of family /
+        params: {manager: hipster-in}  #   scenario / fleet per entry
+        weight: 3                      # optional replica count
+        sweep:                         # optional cartesian sweep
+          manager: [hipster-in, octopus-man]
+      - scenario:                      # inline single-node spec
+          workload: memcached
+          manager: hipster-co
+          trace: {kind: mmpp, levels: [0.3, 1.0],
+                  mean_dwell_s: [60, 15], duration_s: 420}
+      - fleet:                         # inline fleet spec
+          n_nodes: 8
+          workload: memcached
+          manager: hipster-co
+          trace: {kind: diurnal, duration_s: 420}
+          faults:
+            - {kind: node-death, probability: 0.2, earliest_s: 120}
+
+Every violation raises :class:`~repro.errors.PackError` whose ``path``
+pinpoints the offending clause.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import PackError, suggest
+
+#: Keys a pack document accepts at the top level.
+TOP_KEYS = ("name", "description", "defaults", "scenarios")
+
+#: Keys the ``defaults`` mapping accepts.
+DEFAULTS_KEYS = ("params", "weight")
+
+#: Keys an entry accepts; exactly one of :data:`ENTRY_KIND_KEYS` must
+#: be present.
+ENTRY_KEYS = ("family", "scenario", "fleet", "params", "label", "weight", "sweep")
+ENTRY_KIND_KEYS = ("family", "scenario", "fleet")
+
+
+def _unknown_key_error(
+    keys: Sequence[str], allowed: Sequence[str], where: str
+) -> PackError:
+    unknown = sorted(set(keys) - set(allowed))
+    parts = []
+    for key in unknown:
+        clause = f"unknown key {key!r}"
+        best = suggest(key, allowed)
+        if best is not None:
+            clause += f" (did you mean {best!r}?)"
+        parts.append(clause)
+    return PackError(
+        f"{'; '.join(parts)}; allowed keys: {', '.join(allowed)}", path=where
+    )
+
+
+def _require_mapping(value: Any, where: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise PackError(
+            f"expected a mapping, got {type(value).__name__}", path=where
+        )
+    for key in value:
+        if not isinstance(key, str):
+            raise PackError(f"non-string key {key!r}", path=where)
+    return value
+
+
+def _require_str(value: Any, where: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise PackError(
+            f"expected a non-empty string, got {value!r}", path=where
+        )
+    return value
+
+
+def _require_weight(value: Any, where: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise PackError(
+            f"weight must be a positive integer, got {value!r}", path=where
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class PackEntry:
+    """One parsed entry: a family reference or an inline spec mapping."""
+
+    kind: str  #: ``"family"`` | ``"scenario"`` | ``"fleet"``
+    body: Any  #: the family name (str) or the inline spec mapping
+    params: Mapping[str, Any]  #: family params (defaults already merged)
+    label: str | None
+    weight: int
+    #: Swept parameters, ``(name, values)`` sorted by name.
+    sweep: tuple[tuple[str, tuple[Any, ...]], ...]
+    index: int  #: position inside ``scenarios`` (for error paths)
+
+    @property
+    def where(self) -> str:
+        return f"scenarios[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Pack:
+    """A parsed (but not yet compiled) pack document."""
+
+    name: str
+    description: str
+    entries: tuple[PackEntry, ...]
+    source: str  #: file path or ``"<pack>"`` for in-memory documents
+
+
+def _parse_sweep(
+    value: Any, where: str
+) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+    mapping = _require_mapping(value, where)
+    sweep = []
+    for name in sorted(mapping):
+        values = mapping[name]
+        if isinstance(values, (str, bytes)) or not isinstance(
+            values, Sequence
+        ):
+            raise PackError(
+                f"sweep values for {name!r} must be a list, got {values!r}",
+                path=where,
+            )
+        if not values:
+            raise PackError(
+                f"sweep values for {name!r} must be non-empty", path=where
+            )
+        sweep.append((name, tuple(values)))
+    return tuple(sweep)
+
+
+def _parse_entry(
+    entry: Any, index: int, defaults_params: Mapping[str, Any], default_weight: int
+) -> PackEntry:
+    where = f"scenarios[{index}]"
+    mapping = _require_mapping(entry, where)
+    if set(mapping) - set(ENTRY_KEYS):
+        raise _unknown_key_error(list(mapping), ENTRY_KEYS, where)
+    kinds = [key for key in ENTRY_KIND_KEYS if key in mapping]
+    if len(kinds) != 1:
+        raise PackError(
+            "an entry needs exactly one of "
+            f"{', '.join(ENTRY_KIND_KEYS)} (got {len(kinds)})",
+            path=where,
+        )
+    kind = kinds[0]
+    body = mapping[kind]
+    params: Mapping[str, Any] = {}
+    if kind == "family":
+        body = _require_str(body, f"{where}.family")
+        params = dict(defaults_params)
+        if "params" in mapping:
+            params.update(
+                _require_mapping(mapping["params"], f"{where}.params")
+            )
+    else:
+        body = dict(_require_mapping(body, f"{where}.{kind}"))
+        if "params" in mapping:
+            raise PackError(
+                f"'params' only applies to family entries; fold the values "
+                f"into the {kind!r} mapping instead",
+                path=where,
+            )
+    label = None
+    if "label" in mapping:
+        label = _require_str(mapping["label"], f"{where}.label")
+    weight = default_weight
+    if "weight" in mapping:
+        weight = _require_weight(mapping["weight"], f"{where}.weight")
+    sweep: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    if "sweep" in mapping:
+        sweep = _parse_sweep(mapping["sweep"], f"{where}.sweep")
+    return PackEntry(
+        kind=kind,
+        body=body,
+        params=params,
+        label=label,
+        weight=weight,
+        sweep=sweep,
+        index=index,
+    )
+
+
+def parse_pack(data: Any, *, source: str = "<pack>") -> Pack:
+    """Validate a loaded YAML/JSON document into a :class:`Pack`."""
+    mapping = _require_mapping(data, "pack")
+    if set(mapping) - set(TOP_KEYS):
+        raise _unknown_key_error(list(mapping), TOP_KEYS, "pack")
+    if "name" not in mapping:
+        raise PackError("a pack needs a 'name'", path="pack")
+    name = _require_str(mapping["name"], "pack.name")
+    description = ""
+    if "description" in mapping:
+        description = _require_str(mapping["description"], "pack.description")
+    defaults_params: Mapping[str, Any] = {}
+    default_weight = 1
+    if "defaults" in mapping:
+        defaults = _require_mapping(mapping["defaults"], "pack.defaults")
+        if set(defaults) - set(DEFAULTS_KEYS):
+            raise _unknown_key_error(
+                list(defaults), DEFAULTS_KEYS, "pack.defaults"
+            )
+        if "params" in defaults:
+            defaults_params = _require_mapping(
+                defaults["params"], "pack.defaults.params"
+            )
+        if "weight" in defaults:
+            default_weight = _require_weight(
+                defaults["weight"], "pack.defaults.weight"
+            )
+    if "scenarios" not in mapping:
+        raise PackError("a pack needs a 'scenarios' list", path="pack")
+    scenarios = mapping["scenarios"]
+    if isinstance(scenarios, (str, bytes)) or not isinstance(
+        scenarios, Sequence
+    ):
+        raise PackError(
+            f"expected a list, got {type(scenarios).__name__}",
+            path="pack.scenarios",
+        )
+    if not scenarios:
+        raise PackError("must not be empty", path="pack.scenarios")
+    entries = tuple(
+        _parse_entry(entry, index, defaults_params, default_weight)
+        for index, entry in enumerate(scenarios)
+    )
+    return Pack(
+        name=name, description=description, entries=entries, source=source
+    )
+
+
+def load_pack(path: str | Path) -> Pack:
+    """Parse a pack file -- ``.json`` as JSON, anything else as YAML."""
+    file = Path(path)
+    try:
+        text = file.read_text()
+    except OSError as err:
+        raise PackError(f"cannot read pack: {err}", path=str(file)) from err
+    if file.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise PackError(f"invalid JSON: {err}", path=str(file)) from err
+    else:
+        try:
+            import yaml
+        except ImportError as err:
+            raise PackError(
+                "YAML packs need the optional PyYAML dependency "
+                "(pip install pyyaml), or write the pack as .json",
+                path=str(file),
+            ) from err
+
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as err:
+            raise PackError(f"invalid YAML: {err}", path=str(file)) from err
+    return parse_pack(data, source=str(file))
+
+
+__all__ = [
+    "DEFAULTS_KEYS",
+    "ENTRY_KEYS",
+    "ENTRY_KIND_KEYS",
+    "Pack",
+    "PackEntry",
+    "TOP_KEYS",
+    "load_pack",
+    "parse_pack",
+]

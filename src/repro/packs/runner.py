@@ -1,0 +1,139 @@
+"""Execute compiled packs with pack-level sweep planning.
+
+``run_pack`` hands **all** of a pack's single-node scenario specs to
+one :meth:`~repro.sim.batch.BatchRunner.run` call, so the runner's
+cost-aware longest-job-first scheduler and two-tier cache plan across
+the whole pack instead of entry by entry; fleets run afterwards through
+the same runner (their node expansions batch internally).  Because
+every item is a frozen spec, a pack's results are byte-identical
+serial or ``--jobs N``, and repeated runs hit the outcome cache.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import Any
+
+from repro.packs.compiler import CompiledPack, compile_pack
+from repro.scenarios.spec import ScenarioOutcome
+
+
+@dataclass(frozen=True)
+class PackResult:
+    """All of a pack's outcomes, aligned with ``pack.items``."""
+
+    pack: CompiledPack
+    outcomes: tuple[Any, ...]  #: ScenarioOutcome | FleetOutcome per item
+
+    def __post_init__(self) -> None:
+        if len(self.outcomes) != len(self.pack.items):
+            raise ValueError("outcomes must align with pack items")
+
+    def rows(self) -> list[tuple[str, str, float, float, float]]:
+        """Per-item ``(key, kind, qos, mean_power_w, energy_j)`` rows."""
+        rows = []
+        for item, outcome in zip(self.pack.items, self.outcomes):
+            if isinstance(outcome, ScenarioOutcome):
+                result = outcome.result
+                rows.append(
+                    (
+                        item.key,
+                        "scenario",
+                        result.qos_guarantee(),
+                        result.mean_power_w(),
+                        result.total_energy_j(),
+                    )
+                )
+            else:
+                rows.append(
+                    (
+                        item.key,
+                        f"fleet({outcome.n_nodes})",
+                        outcome.fleet_qos_guarantee(),
+                        outcome.total_mean_power_w(),
+                        outcome.total_energy_j(),
+                    )
+                )
+        return rows
+
+    def summary(self) -> dict[str, Any]:
+        """A JSON-ready digest (the CI artifact format)."""
+        return {
+            "pack": self.pack.name,
+            "source": self.pack.source,
+            "items": [
+                {
+                    "key": key,
+                    "kind": kind,
+                    "qos_guarantee": round(qos, 6),
+                    "mean_power_w": round(power, 6),
+                    "total_energy_j": round(energy, 3),
+                }
+                for key, kind, qos, power, energy in self.rows()
+            ],
+        }
+
+    def render(self) -> str:
+        """An ASCII report in the repo's house table style."""
+        from repro.experiments.reporting import ascii_table
+
+        table_rows = [
+            [key, kind, f"{qos * 100:.1f}%", f"{power:.2f}W", f"{energy:.0f}J"]
+            for key, kind, qos, power, energy in self.rows()
+        ]
+        header = f"Pack -- {self.pack.name} ({len(self.pack.items)} runs)"
+        if self.pack.description:
+            header += f": {self.pack.description}"
+        return "\n".join(
+            [
+                header,
+                ascii_table(
+                    ["run", "kind", "QoS", "power", "energy"], table_rows
+                ),
+            ]
+        )
+
+
+def run_pack(
+    pack: Any, *, runner: Any = None, quick: bool | None = None
+) -> PackResult:
+    """Compile (if needed) and execute a pack.
+
+    ``pack`` may be a path, a raw document mapping, a parsed
+    :class:`~repro.packs.model.Pack` or an already-compiled
+    :class:`CompiledPack` (``quick`` only applies when compiling).
+    A runner created here is closed before returning; a caller-supplied
+    ``runner`` is left open.
+    """
+    compiled = (
+        pack
+        if isinstance(pack, CompiledPack)
+        else compile_pack(pack, quick=quick)
+    )
+    outcomes: list[Any] = [None] * len(compiled.items)
+    scenario_indexed = [
+        (index, item)
+        for index, item in enumerate(compiled.items)
+        if not item.is_fleet
+    ]
+    fleet_indexed = [
+        (index, item)
+        for index, item in enumerate(compiled.items)
+        if item.is_fleet
+    ]
+    with ExitStack() as stack:
+        if runner is None:
+            from repro.sim.batch import BatchRunner
+
+            runner = stack.enter_context(BatchRunner())
+        if scenario_indexed:
+            results = runner.run([item.spec for _, item in scenario_indexed])
+            for (index, _), outcome in zip(scenario_indexed, results):
+                outcomes[index] = outcome
+        for index, item in fleet_indexed:
+            outcomes[index] = item.spec.run(runner)
+    return PackResult(pack=compiled, outcomes=tuple(outcomes))
+
+
+__all__ = ["PackResult", "run_pack"]

@@ -17,11 +17,13 @@ from repro.hardware.juno import juno_r1
 from repro.hardware.soc import KernelConfig, Platform
 from repro.hardware.topology import config_by_label, enumerate_configurations
 from repro.loadgen.diurnal import DiurnalTrace
+from repro.loadgen.mmpp import MMPPTrace
 from repro.loadgen.traces import (
     ConcatTrace,
     ConstantTrace,
     LoadTrace,
     RampTrace,
+    ReplayTrace,
     SampledTrace,
     SpikeTrace,
     StepTrace,
@@ -55,6 +57,8 @@ TRACE_BUILDERS: dict[str, Callable[..., LoadTrace]] = {
     "sampled": SampledTrace,
     "step": StepTrace,
     "spike": SpikeTrace,
+    "mmpp": MMPPTrace,
+    "replay": ReplayTrace,
 }
 
 
@@ -102,9 +106,9 @@ def _lookup(registry: dict[str, Any], key: str, what: str) -> Any:
     try:
         return registry[key]
     except KeyError:
-        raise KeyError(
-            f"unknown {what} {key!r}; available: {sorted(registry)}"
-        ) from None
+        from repro.errors import UnknownNameError
+
+        raise UnknownNameError(what, key, sorted(registry)) from None
 
 
 def _split_batch_key(key: str) -> tuple[str, str]:

@@ -18,8 +18,10 @@ collocated with a SPEC program (Figure 11).
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable
 
+from repro.errors import UnknownNameError, UnknownParamError
 from repro.scenarios.spec import DEFAULT_SEED, ScenarioSpec, TraceSpec
 
 #: Paper run lengths: Figures 5/6 span ~1400 s for Memcached and ~1000 s
@@ -74,14 +76,54 @@ class ScenarioRegistry:
         return _add(factory) if factory is not None else _add
 
     def build(self, name: str, **kwargs: Any) -> Any:
-        """Build one spec from the named family."""
+        """Build one spec from the named family.
+
+        Unknown family names raise :class:`~repro.errors.UnknownNameError`
+        and unknown keyword arguments
+        :class:`~repro.errors.UnknownParamError` -- both list the valid
+        choices and append a "did you mean" suggestion, and both remain
+        catchable as the bare ``KeyError``/``TypeError`` the pre-facade
+        registry raised.
+        """
         try:
             factory = self._factories[name]
         except KeyError:
-            raise KeyError(
-                f"unknown scenario family {name!r}; available: {self.names()}"
+            raise UnknownNameError(
+                "scenario family", name, self.names()
             ) from None
+        accepted = self.family_params(name)
+        if accepted is not None:
+            unknown = sorted(set(kwargs) - set(accepted))
+            if unknown:
+                raise UnknownParamError(
+                    f"scenario family {name!r}", unknown, accepted
+                )
         return factory(**kwargs)
+
+    def family_params(self, name: str) -> tuple[str, ...] | None:
+        """The keyword parameters the named family accepts, or ``None``
+        when its factory takes ``**kwargs`` (nothing to validate against).
+        """
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise UnknownNameError(
+                "scenario family", name, self.names()
+            ) from None
+        params = inspect.signature(factory).parameters
+        if any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        ):
+            return None
+        return tuple(
+            n
+            for n, p in params.items()
+            if p.kind
+            in (
+                inspect.Parameter.KEYWORD_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+        )
 
     def names(self) -> tuple[str, ...]:
         """Registered family names, sorted."""

@@ -83,8 +83,8 @@ class TraceSpec:
 
     ``kind`` selects a builder from
     :data:`repro.scenarios.factories.TRACE_BUILDERS` (``"diurnal"``,
-    ``"constant"``, ``"ramp"``, ``"sampled"``, ``"step"``, ``"spike"``)
-    and ``params``
+    ``"constant"``, ``"ramp"``, ``"sampled"``, ``"step"``, ``"spike"``,
+    ``"mmpp"``, ``"replay"``) and ``params``
     are its keyword arguments; ``kind="concat"`` plays ``parts`` back to
     back instead.
     """
@@ -151,6 +151,47 @@ class TraceSpec:
         """Several traces played back to back (warm-up then ramp)."""
         return cls("concat", (), tuple(parts))
 
+    @classmethod
+    def mmpp(
+        cls,
+        levels: Iterable[float],
+        mean_dwell_s: Iterable[float],
+        duration_s: float,
+        *,
+        seed: int = 0,
+        start_state: int = 0,
+    ) -> "TraceSpec":
+        """Bursty Markov-modulated load (flash crowds, retry storms)."""
+        return cls(
+            "mmpp",
+            {
+                "levels": tuple(float(v) for v in levels),
+                "mean_dwell_s": tuple(float(d) for d in mean_dwell_s),
+                "duration_s": duration_s,
+                "seed": seed,
+                "start_state": start_state,
+            },
+        )
+
+    @classmethod
+    def replay(
+        cls,
+        times_s: Iterable[float],
+        levels: Iterable[float],
+        *,
+        interp: str = "previous",
+        duration_s: float | None = None,
+    ) -> "TraceSpec":
+        """Replay of a recorded ``(time, level)`` series."""
+        params = {
+            "times_s": tuple(float(t) for t in times_s),
+            "levels": tuple(float(v) for v in levels),
+            "interp": interp,
+        }
+        if duration_s is not None:
+            params["duration_s"] = duration_s
+        return cls("replay", params)
+
     def build(self):
         """The concrete :class:`~repro.loadgen.traces.LoadTrace`."""
         from repro.scenarios import factories
@@ -166,8 +207,14 @@ class TraceSpec:
         try:
             if self.kind == "concat":
                 return sum(part.duration_s() for part in self.parts)
-            if self.kind in ("diurnal", "constant", "spike"):
+            if self.kind in ("diurnal", "constant", "spike", "mmpp"):
                 return float(params["duration_s"])
+            if self.kind == "replay":
+                if "duration_s" in params:
+                    return float(params["duration_s"])
+                last = float(params["times_s"][-1])
+                if last > 0:  # else the builder applies its 1 s floor
+                    return last
             if self.kind == "ramp":
                 return (
                     float(params.get("lead_s", 0.0))

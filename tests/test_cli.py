@@ -228,3 +228,85 @@ class TestFleetFlagsAccepted:
         out = capsys.readouterr().out
         assert "Fleet --" in out
         assert "tail-of-tails" in out
+
+
+class TestPackSubcommand:
+    def write_pack(self, tmp_path):
+        file = tmp_path / "smoke.yaml"
+        file.write_text(
+            "name: cli-smoke\n"
+            "scenarios:\n"
+            "  - family: edge-load\n"
+            "    params: {workload: memcached, level: 0.5, duration_s: 20}\n"
+        )
+        return file
+
+    def test_pack_requires_an_action(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pack"])
+        assert excinfo.value.code == 2
+        assert "needs an action" in error_message(capsys)
+
+    def test_unknown_action_suggests(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pack", "validat"])
+        assert excinfo.value.code == 2
+        assert "did you mean 'validate'" in error_message(capsys)
+
+    def test_validate_reports_bad_pack_with_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(
+            "name: broken\n"
+            "scenarios:\n"
+            "  - family: edge-lod\n"
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pack", "validate", str(bad)])
+        assert excinfo.value.code == 2
+        err = error_message(capsys)
+        assert "scenarios[0]" in err
+        assert "did you mean 'edge-load'" in err
+
+    def test_validate_ok(self, tmp_path, capsys):
+        file = self.write_pack(tmp_path)
+        assert main(["pack", "validate", str(file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_list_shows_pack_table(self, tmp_path, capsys):
+        file = self.write_pack(tmp_path)
+        assert main(["pack", "list", str(file)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-smoke" in out
+
+    def test_missing_file_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pack", "validate", "no-such-pack.yaml"])
+        assert excinfo.value.code == 2
+        assert "no-such-pack.yaml" in error_message(capsys)
+
+    def test_pack_args_rejected_on_other_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table2", "extra-arg"])
+        assert excinfo.value.code == 2
+        assert "pack arguments" in error_message(capsys)
+
+    def test_workload_flag_rejected_for_pack(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pack", "validate", "--workload", "memcached"])
+        assert excinfo.value.code == 2
+        assert "--workload" in error_message(capsys)
+
+    @pytest.mark.slow
+    def test_pack_run_writes_summary(self, tmp_path, capsys):
+        file = self.write_pack(tmp_path)
+        out_file = tmp_path / "summary.json"
+        assert main(
+            ["pack", "run", str(file), "--output", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pack -- cli-smoke" in out
+        import json
+
+        summary = json.loads(out_file.read_text())
+        assert summary["pack"] == "cli-smoke"
+        assert len(summary["items"]) == 1

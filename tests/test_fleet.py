@@ -404,3 +404,129 @@ class TestFleetFamilies:
     def test_fleet_ramp_concat_trace(self):
         spec = DEFAULT_REGISTRY.build("fleet-ramp", n_nodes=2, warmup_s=60.0)
         assert spec.trace.kind == "concat"
+
+
+class TestFaults:
+    def clauses(self):
+        return (
+            {"kind": "node-death", "probability": 0.5, "earliest_s": 3.0},
+            {"kind": "straggler", "probability": 0.6, "slowdown": 2.0,
+             "duration_s": 4.0},
+        )
+
+    def test_schedule_is_a_pure_function_of_the_spec(self):
+        spec = tiny_fleet(n_nodes=6, faults=self.clauses())
+        events = spec.fault_schedule()
+        assert events == spec.fault_schedule()
+        assert events == tiny_fleet(n_nodes=6, faults=self.clauses()).fault_schedule()
+        reseeded = tiny_fleet(n_nodes=6, seed=99, faults=self.clauses())
+        assert events != reseeded.fault_schedule()
+
+    def test_faults_enter_the_fingerprint(self):
+        spec = tiny_fleet()
+        faulted = tiny_fleet(faults=self.clauses())
+        assert spec.fingerprint() != faulted.fingerprint()
+
+    def test_dead_node_drains_and_survivors_absorb(self):
+        from repro.fleet.faults import FaultEvent
+
+        spec = tiny_fleet(n_nodes=3, faults=(
+            {"kind": "node-death", "probability": 1.0,
+             "earliest_s": 0.0, "latest_s": 0.0},))
+        events = spec.fault_schedule()
+        assert len(events) == 3  # probability 1: every node dies at t=0
+        assert all(isinstance(e, FaultEvent) and e.multiplier == 0.0
+                   for e in events)
+        # A whole-fleet wipeout cannot be expanded into node loads.
+        with pytest.raises(ValueError, match="kills every node"):
+            spec.node_specs()
+
+    def test_partial_death_rebalances_onto_survivors(self):
+        # Seed 0 fires the clause on node 0 only (pinned draw order).
+        clause = {"kind": "node-death", "probability": 0.5,
+                  "earliest_s": 6.0, "latest_s": 6.0}
+        spec = tiny_fleet(n_nodes=2, balancer="round-robin", seed=0,
+                          faults=(clause,))
+        events = spec.fault_schedule()
+        assert [(e.node, e.start_interval) for e in events] == [(0, 6)]
+        nodes = spec.node_specs()
+        dead_levels = dict(nodes[0].trace.params)["levels"]
+        survivor_levels = dict(nodes[1].trace.params)["levels"]
+        # Drained to zero from the death interval on...
+        assert set(dead_levels[6:]) == {0.0}
+        # ...while the survivor absorbs the whole fleet load (2x its
+        # fair share, capped at the balancer's MAX_NODE_LEVEL).
+        assert survivor_levels[6] > dead_levels[0]
+        assert max(survivor_levels) <= MAX_NODE_LEVEL
+
+    def test_straggler_inflates_load_temporarily(self):
+        clause = {"kind": "straggler", "probability": 1.0, "slowdown": 2.0,
+                  "duration_s": 3.0, "earliest_s": 4.0, "latest_s": 4.0}
+        spec = tiny_fleet(n_nodes=1, balancer="round-robin",
+                          faults=(clause,))
+        (node,) = spec.node_specs()
+        levels = dict(node.trace.params)["levels"]
+        # During [4, 7): the 0.6 split inflates by 1/0.5 = 2x.
+        assert levels[4] == pytest.approx(levels[0] * 2.0)
+        assert levels[7] == pytest.approx(levels[0])
+
+    def test_clause_validation(self):
+        with pytest.raises(KeyError, match="unknown fault kind"):
+            tiny_fleet(faults=({"kind": "meteor", "probability": 0.5},))
+        with pytest.raises(TypeError, match="did you mean"):
+            tiny_fleet(faults=(
+                {"kind": "node-death", "probability": 0.5, "earliest": 3},))
+        with pytest.raises(ValueError, match="probability"):
+            tiny_fleet(faults=({"kind": "node-death", "probability": 1.5},))
+        with pytest.raises(ValueError, match="slowdown"):
+            tiny_fleet(faults=(
+                {"kind": "straggler", "probability": 0.5, "slowdown": 0.9,
+                 "duration_s": 5.0},))
+
+    def test_faultless_spec_keeps_pre_fault_expansion(self):
+        spec = tiny_fleet(n_nodes=3)
+        assert spec.fault_schedule() == ()
+        assert spec.with_(faults=()).node_specs() == spec.node_specs()
+
+
+class TestHeterogeneousFleet:
+    def mixed(self, **overrides):
+        return tiny_fleet(
+            n_nodes=3, workload_mix={"memcached": 2, "websearch": 1},
+            **overrides,
+        )
+
+    def test_mix_assigns_sorted_name_blocks(self):
+        spec = self.mixed()
+        assert spec.node_workloads() == ("memcached", "memcached", "websearch")
+        assert spec.is_heterogeneous()
+        assert not tiny_fleet().is_heterogeneous()
+
+    def test_mix_must_sum_to_n_nodes(self):
+        with pytest.raises(ValueError, match="workload_mix"):
+            tiny_fleet(n_nodes=3, workload_mix={"memcached": 2})
+        with pytest.raises(KeyError, match="unknown workload"):
+            tiny_fleet(n_nodes=3, workload_mix={"memcached": 2, "redis": 1})
+
+    def test_mix_enters_the_fingerprint(self):
+        assert self.mixed().fingerprint() != tiny_fleet(n_nodes=3).fingerprint()
+
+    def test_node_specs_carry_their_workload(self):
+        nodes = self.mixed().node_specs()
+        assert [node.workload for node in nodes] == [
+            "memcached", "memcached", "websearch"]
+
+    def test_hetero_aggregation_uses_per_node_targets(self):
+        outcome = run_fleet(self.mixed())
+        assert outcome.is_heterogeneous
+        assert outcome.fleet_ratio is not None
+        assert len(outcome.node_targets) == 3
+        # Both workload targets appear among the per-node targets.
+        assert len(set(outcome.node_targets.tolist())) == 2
+        guarantee = outcome.fleet_qos_guarantee()
+        assert 0.0 <= guarantee <= 1.0
+        assert "workload" in outcome.render()
+
+    def test_homogeneous_render_has_no_workload_column(self):
+        outcome = run_fleet(tiny_fleet(n_nodes=2))
+        assert "workload" not in outcome.render()

@@ -7,10 +7,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.loadgen.diurnal import DiurnalTrace, diurnal_shape
+from repro.loadgen.mmpp import MMPPTrace
 from repro.loadgen.traces import (
     ConcatTrace,
     ConstantTrace,
     RampTrace,
+    ReplayTrace,
     SampledTrace,
     SpikeTrace,
     StepTrace,
@@ -137,6 +139,12 @@ class TestLoadAtMany:
             ConcatTrace([ConstantTrace(0.2, 30.0),
                          StepTrace([(20.0, 0.6), (20.0, 0.4)])]),
             DiurnalTrace(duration_s=200.0, seed=4),
+            MMPPTrace(levels=(0.2, 0.9), mean_dwell_s=(25.0, 10.0),
+                      duration_s=150.0, seed=3),
+            ReplayTrace(times_s=(0.0, 10.0, 35.0, 80.0),
+                        levels=(0.1, 0.7, 0.4, 0.9), interp="previous"),
+            ReplayTrace(times_s=(0.0, 10.0, 35.0, 80.0),
+                        levels=(0.1, 0.7, 0.4, 0.9), interp="linear"),
         ]
 
     def test_bit_identical_to_scalar_lookup(self):
@@ -187,3 +195,71 @@ class TestLoadAtMany:
                 [trace.load_at(float(t)) for t in arr], dtype=float
             )
             assert batched.tobytes() == scalar.tobytes()
+
+
+class TestMMPP:
+    def test_deterministic_per_seed(self):
+        kwargs = dict(levels=(0.2, 0.6, 1.1), mean_dwell_s=(40.0, 20.0, 5.0),
+                      duration_s=300.0)
+        a = MMPPTrace(seed=7, **kwargs)
+        b = MMPPTrace(seed=7, **kwargs)
+        times = np.linspace(0.0, 300.0, 601)
+        assert a.load_at_many(times).tobytes() == b.load_at_many(times).tobytes()
+        c = MMPPTrace(seed=8, **kwargs)
+        assert a.load_at_many(times).tobytes() != c.load_at_many(times).tobytes()
+
+    def test_levels_come_from_the_state_set(self):
+        trace = MMPPTrace(levels=(0.25, 0.75), mean_dwell_s=(10.0, 10.0),
+                          duration_s=200.0, seed=1)
+        seen = set(trace.load_at_many(np.linspace(0.0, 199.9, 400)).tolist())
+        assert seen <= {0.25, 0.75}
+        assert len(seen) == 2  # both states visited over 20 mean dwells
+
+    def test_start_state_pins_the_first_level(self):
+        trace = MMPPTrace(levels=(0.3, 0.9), mean_dwell_s=(50.0, 50.0),
+                          duration_s=100.0, seed=0, start_state=1)
+        assert trace.load_at(0.0) == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPTrace(levels=(), mean_dwell_s=(), duration_s=10.0)
+        with pytest.raises(ValueError):
+            MMPPTrace(levels=(0.5, 0.6), mean_dwell_s=(10.0,), duration_s=10.0)
+        with pytest.raises(ValueError):
+            MMPPTrace(levels=(0.5,), mean_dwell_s=(-1.0,), duration_s=10.0)
+        with pytest.raises(ValueError):
+            MMPPTrace(levels=(2.0,), mean_dwell_s=(10.0,), duration_s=10.0)
+
+
+class TestReplay:
+    def test_previous_interpolation_holds_the_last_sample(self):
+        trace = ReplayTrace(times_s=(0.0, 10.0, 20.0), levels=(0.2, 0.8, 0.5))
+        assert trace.load_at(0.0) == 0.2
+        assert trace.load_at(9.99) == 0.2
+        assert trace.load_at(10.0) == 0.8
+        assert trace.load_at(25.0) == 0.5  # clamped past the last sample
+
+    def test_linear_interpolation_matches_np_interp(self):
+        times = (0.0, 10.0, 30.0)
+        levels = (0.0, 1.0, 0.5)
+        trace = ReplayTrace(times_s=times, levels=levels, interp="linear")
+        query = np.array([0.0, 5.0, 10.0, 20.0, 30.0, 40.0])
+        expected = np.interp(query, times, levels)
+        assert trace.load_at_many(query).tobytes() == expected.tobytes()
+
+    def test_duration_defaults_to_last_sample_time(self):
+        trace = ReplayTrace(times_s=(0.0, 42.0), levels=(0.1, 0.2))
+        assert trace.duration_s == 42.0
+        explicit = ReplayTrace(times_s=(0.0, 42.0), levels=(0.1, 0.2),
+                               duration_s=60.0)
+        assert explicit.duration_s == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayTrace(times_s=(), levels=())
+        with pytest.raises(ValueError):
+            ReplayTrace(times_s=(0.0, 1.0), levels=(0.5,))
+        with pytest.raises(ValueError):
+            ReplayTrace(times_s=(5.0, 1.0), levels=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            ReplayTrace(times_s=(0.0, 1.0), levels=(0.5, 0.5), interp="cubic")

@@ -363,9 +363,13 @@ class TestCacheKeyPins:
             "s2-lindley-v1-4c9ce613370ea460dff8697b",
             "7f151e656e67b499cd7150d1",
         ),
+        # Re-pinned for FLEET_SCHEMA_VERSION 1 -> 2 (workload_mix +
+        # faults joined the fingerprint payload); the retired slot
+        # holds the fleet-schema-1 key.  Node-level *cache* keys below
+        # are unchanged by the bump.
         "fleet": (
+            "8fe464a0205a745695a3e711",
             "b91ee0f506f0096b3f97c3a0",
-            "600fcbc112c67ed8fd8466f2",
         ),
         "fleet-node0": (
             "s2-lindley-v1-d53db36b5296c1b4aa15fcfc",
