@@ -28,10 +28,16 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from repro.errors import (
+    ExecutionError,
     PackError,
     ReproError,
+    ResumeMismatchError,
+    RunInterruptedError,
+    SpecFailedError,
+    SpecTimeoutError,
     UnknownNameError,
     UnknownParamError,
+    WorkerCrashError,
 )
 from repro.fleet.aggregate import FleetOutcome
 from repro.fleet.spec import FleetSpec
@@ -40,6 +46,7 @@ from repro.scenarios.registry import DEFAULT_REGISTRY
 from repro.scenarios.spec import ScenarioOutcome, ScenarioSpec
 from repro.sim.batch import BatchRunner
 from repro.sim.records import ExperimentResult
+from repro.sim.supervise import RetryPolicy, RunJournal
 
 
 def open_runner(
@@ -148,16 +155,24 @@ def sweep(
 
 __all__ = [
     "BatchRunner",
+    "ExecutionError",
     "ExperimentResult",
     "FleetOutcome",
     "FleetSpec",
     "PackError",
     "PackResult",
     "ReproError",
+    "ResumeMismatchError",
+    "RetryPolicy",
+    "RunInterruptedError",
+    "RunJournal",
     "ScenarioOutcome",
     "ScenarioSpec",
+    "SpecFailedError",
+    "SpecTimeoutError",
     "UnknownNameError",
     "UnknownParamError",
+    "WorkerCrashError",
     "open_runner",
     "run_pack",
     "run_scenario",

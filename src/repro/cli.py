@@ -38,8 +38,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
+from repro.errors import (
+    ExecutionError,
+    ResumeMismatchError,
+    RunInterruptedError,
+)
 from repro.experiments import EXPERIMENTS
 from repro.experiments.calibration import calibrate_demand
 from repro.experiments.runner import DEFAULT_SEED
@@ -47,8 +53,25 @@ from repro.fleet.balancer import BALANCER_FACTORIES
 from repro.hardware.juno import juno_r1
 from repro.scenarios import DEFAULT_REGISTRY
 from repro.sim.batch import BatchRunner
+from repro.sim.supervise import JOURNAL_NAME, RunJournal
 from repro.workloads.memcached import memcached
 from repro.workloads.websearch import websearch
+
+#: Process exit code for execution failures (worker crash / watchdog
+#: timeout / engine exception surviving the supervisor's retries);
+#: validation errors keep argparse's 2, interrupts exit 130 (128+INT).
+EXIT_EXECUTION_FAILURE = 3
+EXIT_INTERRUPTED = 130
+
+_EPILOG = """\
+exit codes:
+  0    success -- including partial pack success (warning on stderr)
+  2    usage or validation error (bad flag, malformed pack)
+  3    execution failure: worker crash, watchdog timeout or engine
+       error that survived the supervisor's retries
+  130  interrupted (SIGINT/SIGTERM) after draining in-flight work;
+       rerun with --resume to continue from the journal
+"""
 
 #: Experiments that take a workload argument; for every other experiment
 #: passing ``--workload`` is an error (it would be silently ignored).
@@ -138,6 +161,20 @@ _FLAG_RULES = (
         lambda: "'bench', 'bench-batch' and 'pack run'",
     ),
     (
+        "--resume",
+        "resume",
+        lambda v: bool(v),
+        _applies_everywhere_but_fixed,
+        lambda: "experiment, fleet and pack commands",
+    ),
+    (
+        "--strict",
+        "strict",
+        lambda v: bool(v),
+        lambda c: c == "pack",
+        lambda: "'pack run'",
+    ),
+    (
         "pack arguments",
         "pack_args",
         lambda v: bool(v),
@@ -168,6 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hipster-repro",
         description="Reproduce tables and figures from the Hipster paper (HPCA 2017).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
@@ -243,7 +282,112 @@ def build_parser() -> argparse.ArgumentParser:
             "(defaults: BENCH_engine.json / BENCH_batch.json)"
         ),
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted run from the journal in "
+            "--cache-dir (output stays byte-identical to an "
+            "uninterrupted run)"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="'pack run': any failed entry makes the exit code nonzero",
+    )
     return parser
+
+
+def _journal_header(args: argparse.Namespace) -> dict:
+    """The run identity recorded in (and checked against) the journal.
+
+    Everything that shapes *output bytes* is included; knobs that only
+    shape execution (``--jobs``, cache placement) are not, so a run may
+    be resumed with different parallelism.
+    """
+    from repro.scenarios.spec import cache_key_prefix
+
+    return {
+        "command": args.experiment,
+        "workload": args.workload,
+        "nodes": args.nodes,
+        "balancer": args.balancer,
+        "quick": bool(args.quick),
+        "seed": args.seed,
+        "schema": cache_key_prefix(),
+    }
+
+
+def _open_journal(
+    runner: BatchRunner, args: argparse.Namespace, header: dict
+) -> None:
+    """Attach a run journal to the runner (``--cache-dir`` runs only)."""
+    from pathlib import Path
+
+    if args.cache_dir is None:
+        return
+    runner.journal = RunJournal.open(
+        Path(args.cache_dir) / JOURNAL_NAME, header, resume=args.resume
+    )
+    if args.resume:
+        print(f"[journal] {runner.journal.describe()}", file=sys.stderr)
+
+
+@contextmanager
+def _partial_summary(runner: BatchRunner) -> Iterator[None]:
+    """On a graceful interrupt, report progress before propagating.
+
+    The stats plus the journal line *are* the partial summary: what was
+    cached, what was journaled, how far the run got -- enough to judge
+    whether ``--resume`` is worth it.
+    """
+    try:
+        yield
+    except RunInterruptedError:
+        _report_stats(runner)
+        if runner.journal is not None:
+            print(f"[journal] {runner.journal.describe()}", file=sys.stderr)
+        raise
+
+
+@contextmanager
+def _stop_signals(runner: BatchRunner) -> Iterator[None]:
+    """Turn SIGINT/SIGTERM into a graceful stop request for the block.
+
+    The handler only sets a flag: in-flight chunks drain, their
+    outcomes reach cache and journal, and the run surfaces a
+    :class:`~repro.errors.RunInterruptedError` (exit 130) instead of
+    dying mid-write.  Previous handlers are restored on exit.
+    """
+    import signal as _signal
+
+    def _handler(signum, frame):  # pragma: no cover - signal timing
+        runner.request_stop()
+        name = _signal.Signals(signum).name
+        print(
+            f"\n[{name}] stopping: draining in-flight work "
+            "(repeat to kill)...",
+            file=sys.stderr,
+        )
+        # A second signal falls through to the default handler: the
+        # user asked twice, stop absorbing it.
+        _signal.signal(signum, previous.get(signum, _signal.SIG_DFL))
+
+    previous: dict = {}
+    try:
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                previous[sig] = _signal.signal(sig, _handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        yield
+    finally:
+        for sig, old in previous.items():
+            try:
+                _signal.signal(sig, old)
+            except ValueError:  # pragma: no cover
+                pass
 
 
 def _run_one(name: str, args: argparse.Namespace, runner: BatchRunner) -> str:
@@ -368,30 +512,68 @@ def _run_pack_command(
     import json
 
     summaries = []
+    failed_entries = 0
+    every_pack_all_failed = True
     with BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir) as runner:
-        for file in files:
-            try:
-                pack = compile_pack(load_pack(file), quick=quick)
-                pack.validate_buildable()
-            except ReproError as err:
-                parser.error(_pack_error(file, err))
-            t0 = time.perf_counter()
-            result = run_pack(pack, runner=runner)
-            print(result.render())
-            print()
-            summaries.append(result.summary())
-            _report_stats(runner, [(pack.name, time.perf_counter() - t0)])
+        _open_journal(
+            runner,
+            args,
+            {
+                "command": "pack run",
+                "files": [str(file) for file in files],
+                "quick": bool(args.quick),
+            },
+        )
+        with _stop_signals(runner), _partial_summary(runner):
+            for file in files:
+                try:
+                    pack = compile_pack(load_pack(file), quick=quick)
+                    pack.validate_buildable()
+                except ReproError as err:
+                    parser.error(_pack_error(file, err))
+                t0 = time.perf_counter()
+                result = run_pack(pack, runner=runner)
+                print(result.render())
+                print()
+                summaries.append(result.summary())
+                for key, error in result.failures():
+                    failed_entries += 1
+                    print(
+                        f"[pack] {pack.name}:{key} failed: {error}",
+                        file=sys.stderr,
+                    )
+                if not result.all_failed:
+                    every_pack_all_failed = False
+                _report_stats(runner, [(pack.name, time.perf_counter() - t0)])
     if args.output is not None:
         from pathlib import Path
 
         payload = summaries[0] if len(summaries) == 1 else summaries
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
+    if failed_entries:
+        if every_pack_all_failed or args.strict:
+            print(
+                f"hipster-repro: error: {failed_entries} pack "
+                "entry(ies) failed",
+                file=sys.stderr,
+            )
+            return EXIT_EXECUTION_FAILURE
+        print(
+            f"hipster-repro: warning: {failed_entries} pack entry(ies) "
+            "failed; exiting 0 (partial success -- use --strict to fail)",
+            file=sys.stderr,
+        )
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    0 success (including partial pack success), 2 validation error,
+    3 execution failure after retries, 130 graceful interrupt -- the
+    table in ``--help``'s epilog.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -405,7 +587,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 f"--cache-dir {args.cache_dir!r} exists and is not a directory"
             )
+    if args.resume and args.cache_dir is None:
+        parser.error("--resume needs --cache-dir (the journal lives there)")
     _validate_flags(parser, args)
+    try:
+        return _dispatch(parser, args)
+    except ResumeMismatchError as err:
+        parser.error(str(err))
+    except RunInterruptedError as err:
+        print(f"hipster-repro: {err}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ExecutionError as err:
+        print(f"hipster-repro: error: {err}", file=sys.stderr)
+        return EXIT_EXECUTION_FAILURE
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Route the validated invocation (execution errors handled above)."""
     if args.experiment == "pack":
         return _run_pack_command(parser, args)
     if args.seed is None:
@@ -432,42 +630,47 @@ def main(argv: Sequence[str] | None = None) -> int:
     # cache -- is shared by every experiment of the invocation; the
     # ``with`` block shuts the pool down on the way out.
     with BatchRunner(jobs=args.jobs, cache_dir=args.cache_dir) as runner:
-        if args.experiment == "fleet":
-            t0 = time.perf_counter()
-            print(_run_fleet(args, runner))
-            _report_stats(runner, [("fleet", time.perf_counter() - t0)])
-            return 0
-        if args.experiment == "calibrate":
-            print(_run_calibration(runner))
-            return 0
-        if args.experiment == "all":
-            walls = []
-            for name in sorted(EXPERIMENTS):
-                print(f"\n=== {name} ===")
+        _open_journal(runner, args, _journal_header(args))
+        with _stop_signals(runner), _partial_summary(runner):
+            if args.experiment == "fleet":
                 t0 = time.perf_counter()
-                print(_run_one(name, args, runner))
-                walls.append((name, time.perf_counter() - t0))
-            _report_stats(runner, walls)
-            return 0
-        print(_run_one(args.experiment, args, runner))
+                print(_run_fleet(args, runner))
+                _report_stats(runner, [("fleet", time.perf_counter() - t0)])
+                return 0
+            if args.experiment == "calibrate":
+                print(_run_calibration(runner))
+                return 0
+            if args.experiment == "all":
+                walls = []
+                for name in sorted(EXPERIMENTS):
+                    print(f"\n=== {name} ===")
+                    t0 = time.perf_counter()
+                    print(_run_one(name, args, runner))
+                    walls.append((name, time.perf_counter() - t0))
+                _report_stats(runner, walls)
+                return 0
+            print(_run_one(args.experiment, args, runner))
     return 0
 
 
 def render_stats(
     runner: BatchRunner, walls: Sequence[tuple[str, float]] = ()
 ) -> list[str]:
-    """Cache / pool / wall-clock summary lines for one invocation.
+    """Cache / pool / fault / wall-clock summary lines for one invocation.
 
     ``[cache]`` appears when an on-disk cache is configured, ``[pool]``
-    when worker processes were actually spawned, and ``[wall]`` when
+    when worker processes were actually spawned, ``[fault]`` when the
+    supervision layer had anything to absorb, and ``[wall]`` when
     per-experiment timings were collected.
     """
     lines = []
     if runner.cache_dir is not None:
+        corrupt = runner.disk.corrupt_entries if runner.disk else 0
         lines.append(
             f"[cache] {runner.cache_hits} hit(s) "
             f"({runner.memory_hits} memory, {runner.disk_hits} disk), "
-            f"{runner.cache_misses} miss(es) in {runner.cache_dir}"
+            f"{runner.cache_misses} miss(es), corrupt={corrupt} "
+            f"in {runner.cache_dir}"
         )
     if runner.pool_spawns:
         lines.append(
@@ -477,6 +680,26 @@ def render_stats(
             f"{runner.chunks_dispatched} chunk(s), "
             f"{runner.cache_hits} served from cache"
         )
+    faults = (
+        runner.worker_crashes
+        + runner.spec_timeouts
+        + runner.chunk_retries
+        + runner.chunk_bisections
+        + runner.pool_rebuilds
+        + runner.specs_failed
+    )
+    if faults or runner.degraded:
+        line = (
+            f"[fault] {runner.worker_crashes} worker crash(es), "
+            f"{runner.spec_timeouts} timeout(s), "
+            f"{runner.chunk_retries} chunk retry(ies), "
+            f"{runner.chunk_bisections} bisection(s), "
+            f"{runner.pool_rebuilds} pool rebuild(s), "
+            f"{runner.specs_failed} spec(s) failed"
+        )
+        if runner.degraded:
+            line += " -- degraded to serial"
+        lines.append(line)
     if walls:
         total = sum(wall for _, wall in walls)
         lines.append(

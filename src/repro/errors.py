@@ -92,10 +92,92 @@ class PackError(ReproError, ValueError):
         self.path = path
 
 
+class ExecutionError(ReproError, RuntimeError):
+    """A scenario could not be executed, after the supervisor's retries.
+
+    Unlike the naming/validation errors above this is a *runtime*
+    failure: the spec was well-formed but running it crashed a worker,
+    hung past its watchdog deadline, or raised inside the engine.
+    ``fingerprint`` identifies the culprit spec (its cache key), so a
+    caller can drop or pin exactly that run; everything else in the
+    batch completes normally and lands in the cache.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        fingerprint: str = "",
+        spec_description: str = "",
+    ):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.spec_description = spec_description
+
+
+class WorkerCrashError(ExecutionError):
+    """One spec repeatedly killed its worker process (a *poison spec*).
+
+    The supervisor only raises this after isolating the spec through
+    chunk bisection and confirming the crash with a solo dispatch, so
+    the named fingerprint really is the culprit, not a victim that
+    shared a pool with one.
+    """
+
+
+class SpecTimeoutError(ExecutionError):
+    """One spec repeatedly overran its watchdog deadline (hung)."""
+
+    def __init__(self, message: str, *, timeout_s: float = 0.0, **kwargs):
+        super().__init__(message, **kwargs)
+        self.timeout_s = timeout_s
+
+
+class SpecFailedError(ExecutionError):
+    """The engine raised a Python exception while running one spec.
+
+    Deterministic by the purity contract (a run is a pure function of
+    its spec), so it is not retried; ``exception_type`` carries the
+    original class name across the process boundary.
+    """
+
+    def __init__(self, message: str, *, exception_type: str = "", **kwargs):
+        super().__init__(message, **kwargs)
+        self.exception_type = exception_type
+
+
+class RunInterruptedError(ReproError):
+    """The run was stopped early (SIGINT/SIGTERM) after a clean drain.
+
+    In-flight chunks were allowed to finish and their outcomes were
+    flushed to the cache and journal before this was raised, so a
+    ``--resume`` rerun continues from exactly this point.
+    """
+
+    def __init__(self, message: str, *, remaining: int = 0):
+        super().__init__(message)
+        self.remaining = remaining
+
+
+class ResumeMismatchError(ReproError):
+    """``--resume`` named a journal written by a *different* run.
+
+    Resuming under changed run parameters (seed, workload, quick mode,
+    code version) would silently mix two runs' outputs; starting fresh
+    (drop ``--resume`` or the journal file) is always safe.
+    """
+
+
 __all__ = [
+    "ExecutionError",
     "PackError",
     "ReproError",
+    "ResumeMismatchError",
+    "RunInterruptedError",
+    "SpecFailedError",
+    "SpecTimeoutError",
     "UnknownNameError",
     "UnknownParamError",
+    "WorkerCrashError",
     "suggest",
 ]

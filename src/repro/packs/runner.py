@@ -1,40 +1,78 @@
 """Execute compiled packs with pack-level sweep planning.
 
 ``run_pack`` hands **all** of a pack's single-node scenario specs to
-one :meth:`~repro.sim.batch.BatchRunner.run` call, so the runner's
+one :meth:`~repro.sim.batch.BatchRunner.iter_run` call, so the runner's
 cost-aware longest-job-first scheduler and two-tier cache plan across
 the whole pack instead of entry by entry; fleets run afterwards through
 the same runner (their node expansions batch internally).  Because
 every item is a frozen spec, a pack's results are byte-identical
 serial or ``--jobs N``, and repeated runs hit the outcome cache.
+
+Packs run to completion even when entries fail: a poison spec, a
+watchdog timeout or an engine exception lands in its entry's outcome
+slot as the :class:`~repro.errors.ExecutionError` itself, and
+``rows()``/``summary()``/``render()`` carry a per-entry ``status``
+(``ok`` / ``failed: <error type>``) so a sweep with one broken point
+still reports the other N-1.
 """
 
 from __future__ import annotations
 
+import math
 from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Any
 
+from repro.errors import ExecutionError
 from repro.packs.compiler import CompiledPack, compile_pack
 from repro.scenarios.spec import ScenarioOutcome
 
 
 @dataclass(frozen=True)
 class PackResult:
-    """All of a pack's outcomes, aligned with ``pack.items``."""
+    """All of a pack's outcomes, aligned with ``pack.items``.
+
+    An outcome slot holds the entry's ``ScenarioOutcome`` /
+    ``FleetOutcome``, or the :class:`~repro.errors.ExecutionError` that
+    definitively failed it.
+    """
 
     pack: CompiledPack
-    outcomes: tuple[Any, ...]  #: ScenarioOutcome | FleetOutcome per item
+    outcomes: tuple[Any, ...]  #: outcome | ExecutionError per item
 
     def __post_init__(self) -> None:
         if len(self.outcomes) != len(self.pack.items):
             raise ValueError("outcomes must align with pack items")
 
-    def rows(self) -> list[tuple[str, str, float, float, float]]:
-        """Per-item ``(key, kind, qos, mean_power_w, energy_j)`` rows."""
+    def failures(self) -> list[tuple[str, ExecutionError]]:
+        """The failed entries, as ``(key, error)`` pairs."""
+        return [
+            (item.key, outcome)
+            for item, outcome in zip(self.pack.items, self.outcomes)
+            if isinstance(outcome, ExecutionError)
+        ]
+
+    @property
+    def all_failed(self) -> bool:
+        """True when not a single entry produced an outcome."""
+        return bool(self.outcomes) and len(self.failures()) == len(
+            self.outcomes
+        )
+
+    def rows(self) -> list[tuple[str, str, float, float, float, str]]:
+        """``(key, kind, qos, mean_power_w, energy_j, status)`` rows.
+
+        Failed entries report NaN metrics and a ``failed: <error
+        type>`` status; successes report ``ok``.
+        """
         rows = []
+        nan = float("nan")
         for item, outcome in zip(self.pack.items, self.outcomes):
-            if isinstance(outcome, ScenarioOutcome):
+            if isinstance(outcome, ExecutionError):
+                kind = "fleet" if item.is_fleet else "scenario"
+                status = f"failed: {type(outcome).__name__}"
+                rows.append((item.key, kind, nan, nan, nan, status))
+            elif isinstance(outcome, ScenarioOutcome):
                 result = outcome.result
                 rows.append(
                     (
@@ -43,6 +81,7 @@ class PackResult:
                         result.qos_guarantee(),
                         result.mean_power_w(),
                         result.total_energy_j(),
+                        "ok",
                     )
                 )
             else:
@@ -53,25 +92,36 @@ class PackResult:
                         outcome.fleet_qos_guarantee(),
                         outcome.total_mean_power_w(),
                         outcome.total_energy_j(),
+                        "ok",
                     )
                 )
         return rows
 
     def summary(self) -> dict[str, Any]:
-        """A JSON-ready digest (the CI artifact format)."""
-        return {
-            "pack": self.pack.name,
-            "source": self.pack.source,
-            "items": [
+        """A JSON-ready digest (the CI artifact format).
+
+        Failed entries carry ``null`` metrics, their ``status`` names
+        the error type, and the top level counts ``failed`` entries so
+        CI can gate on partial success without parsing rows.
+        """
+        items = []
+        for key, kind, qos, power, energy, status in self.rows():
+            failed = status != "ok"
+            items.append(
                 {
                     "key": key,
                     "kind": kind,
-                    "qos_guarantee": round(qos, 6),
-                    "mean_power_w": round(power, 6),
-                    "total_energy_j": round(energy, 3),
+                    "status": status,
+                    "qos_guarantee": None if failed else round(qos, 6),
+                    "mean_power_w": None if failed else round(power, 6),
+                    "total_energy_j": None if failed else round(energy, 3),
                 }
-                for key, kind, qos, power, energy in self.rows()
-            ],
+            )
+        return {
+            "pack": self.pack.name,
+            "source": self.pack.source,
+            "failed": len(self.failures()),
+            "items": items,
         }
 
     def render(self) -> str:
@@ -79,8 +129,15 @@ class PackResult:
         from repro.experiments.reporting import ascii_table
 
         table_rows = [
-            [key, kind, f"{qos * 100:.1f}%", f"{power:.2f}W", f"{energy:.0f}J"]
-            for key, kind, qos, power, energy in self.rows()
+            [
+                key,
+                kind,
+                "-" if math.isnan(qos) else f"{qos * 100:.1f}%",
+                "-" if math.isnan(power) else f"{power:.2f}W",
+                "-" if math.isnan(energy) else f"{energy:.0f}J",
+                status,
+            ]
+            for key, kind, qos, power, energy, status in self.rows()
         ]
         header = f"Pack -- {self.pack.name} ({len(self.pack.items)} runs)"
         if self.pack.description:
@@ -89,7 +146,8 @@ class PackResult:
             [
                 header,
                 ascii_table(
-                    ["run", "kind", "QoS", "power", "energy"], table_rows
+                    ["run", "kind", "QoS", "power", "energy", "status"],
+                    table_rows,
                 ),
             ]
         )
@@ -105,6 +163,12 @@ def run_pack(
     :class:`CompiledPack` (``quick`` only applies when compiling).
     A runner created here is closed before returning; a caller-supplied
     ``runner`` is left open.
+
+    One failing entry does not abort the pack: its
+    :class:`~repro.errors.ExecutionError` is stored in its outcome slot
+    (see :meth:`PackResult.rows`) and every other entry still runs.
+    Interrupts (:class:`~repro.errors.RunInterruptedError`) do abort --
+    they mean *stop*, not *skip*.
     """
     compiled = (
         pack
@@ -128,11 +192,16 @@ def run_pack(
 
             runner = stack.enter_context(BatchRunner())
         if scenario_indexed:
-            results = runner.run([item.spec for _, item in scenario_indexed])
-            for (index, _), outcome in zip(scenario_indexed, results):
-                outcomes[index] = outcome
+            specs = [item.spec for _, item in scenario_indexed]
+            for position, outcome in runner.iter_run(
+                specs, on_failure="yield"
+            ):
+                outcomes[scenario_indexed[position][0]] = outcome
         for index, item in fleet_indexed:
-            outcomes[index] = item.spec.run(runner)
+            try:
+                outcomes[index] = item.spec.run(runner)
+            except ExecutionError as exc:
+                outcomes[index] = exc
     return PackResult(pack=compiled, outcomes=tuple(outcomes))
 
 

@@ -54,6 +54,25 @@ racing appenders and a compacting closer cannot lose records.
 A runner should be closed when done (``close()`` or a ``with`` block)
 to shut its worker pool down and give the disk cache its compaction
 opportunity; a serial runner never creates a pool.
+
+Fault tolerance
+---------------
+Parallel dispatch is **supervised** (:mod:`repro.sim.supervise`): a
+worker crash rebuilds the pool and re-dispatches only the lost chunks
+with bounded exponential backoff; a chunk that keeps dying is bisected
+down to the poison spec, which is confirmed with a solo dispatch and
+surfaced as a structured :class:`~repro.errors.WorkerCrashError` while
+its chunk-mates' results are recovered; a hung chunk trips a watchdog
+deadline derived from :func:`estimate_cost` and ends in
+:class:`~repro.errors.SpecTimeoutError` instead of blocking forever;
+and a pool that keeps dying degrades to in-process serial execution.
+Corrupt cache entries are moved to ``<cache-dir>/quarantine/`` (with a
+one-line stderr warning) instead of being deleted, so a bad disk or a
+chaos run leaves evidence behind.  Completed fingerprints can be
+journaled (:class:`~repro.sim.supervise.RunJournal`) for crash-safe
+``--resume``.  None of this can change results: every spec is a pure
+function of itself, so retried, resumed and fault-free runs are
+byte-identical.
 """
 
 from __future__ import annotations
@@ -61,13 +80,17 @@ from __future__ import annotations
 import os
 import pickle
 import re
+import sys
 import tempfile
+import zlib
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, BinaryIO, Iterable, Iterator, Sequence
+
+from repro.errors import ExecutionError, RunInterruptedError, SpecFailedError
+from repro.sim.supervise import PoolSupervisor, RetryPolicy, RunJournal
 
 try:  # pragma: no cover - POSIX only; appends stay atomic-ish elsewhere
     import fcntl
@@ -79,6 +102,17 @@ if TYPE_CHECKING:  # pragma: no cover - break the sim <-> scenarios cycle
 
 #: Name of the append-only manifest inside a cache directory.
 MANIFEST_NAME = "manifest.pack"
+
+#: Subdirectory corrupt cache entries are moved to (never deleted):
+#: evidence for post-mortems, out of the lookup path forever.
+QUARANTINE_DIR = "quarantine"
+
+#: Magic of checksummed per-key entries: ``reproblob1 <crc32>\n`` then
+#: the pickled payload.  Bit rot that still unpickles cleanly (4 bytes
+#: flipped inside a float) would otherwise serve silently wrong
+#: results; the CRC turns it into a detected, quarantined miss.
+#: Entries without the magic (pre-checksum caches) load unverified.
+ENTRY_MAGIC = b"reproblob1"
 
 #: Versioned cache keys look like ``s<schema>-<kernel>-<hash>`` (see
 #: ``repro.scenarios.spec.cache_key_prefix``); the schema number orders
@@ -319,6 +353,7 @@ class DiskCache:
         self.compact_dead_fraction = compact_dead_fraction
         self.compactions = 0
         self.stranded_files_removed = 0
+        self.corrupt_entries = 0
         self._pack_index: dict[str, tuple[int, int]] | None = None
         self._pack_read_fh: BinaryIO | None = None
 
@@ -380,6 +415,55 @@ class DiskCache:
         """The append-only manifest pack path."""
         return self.cache_dir / MANIFEST_NAME
 
+    @property
+    def quarantine_path(self) -> Path:
+        """Where corrupt entries are moved (``<cache-dir>/quarantine``)."""
+        return self.cache_dir / QUARANTINE_DIR
+
+    # -- quarantine -----------------------------------------------------
+
+    def _quarantine_file(self, path: Path) -> None:
+        """Move a corrupt per-key pickle out of the lookup path."""
+        target = self.quarantine_path / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:  # racing delete/unwritable dir: drop instead
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.corrupt_entries += 1
+        print(
+            f"[cache] quarantined corrupt entry {path.name} -> {target}",
+            file=sys.stderr,
+        )
+
+    def _quarantine_record(
+        self, key: str, entry: tuple[int, int, int | None]
+    ) -> None:
+        """Preserve a corrupt manifest record's bytes for post-mortems.
+
+        The pack record itself cannot be excised in place (the pack is
+        append-only; compaction drops it later), so the payload bytes
+        are copied aside and the in-memory index entry is evicted by
+        the caller."""
+        offset, size = entry[0], entry[1]
+        target = self.quarantine_path / f"{key}.pack-record"
+        try:
+            with self.manifest_path.open("rb") as fh:
+                fh.seek(offset)
+                payload = fh.read(size)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(payload)
+        except OSError:  # pragma: no cover - best-effort evidence
+            pass
+        self.corrupt_entries += 1
+        print(
+            f"[cache] quarantined corrupt manifest record {key} -> {target}",
+            file=sys.stderr,
+        )
+
     # -- loads ----------------------------------------------------------
 
     def load(self, key: str) -> "ScenarioOutcome | None":
@@ -390,36 +474,51 @@ class DiskCache:
         return outcome
 
     def _file_load(self, key: str) -> "ScenarioOutcome | None":
-        """The legacy per-key tier; deletes a corrupt or legacy-format
-        entry on detection so it is never re-parsed on the next warm
-        start."""
+        """The per-key tier; a corrupt entry is quarantined on detection
+        so it is never re-parsed on the next warm start (and the bytes
+        survive for post-mortems).
+
+        Checksummed entries (:data:`ENTRY_MAGIC` header) fail the CRC on
+        *any* byte damage -- including bit rot that would still unpickle
+        -- while headerless pre-checksum entries keep loading unverified.
+        """
         from repro.scenarios.spec import ScenarioOutcome
 
         path = self.entry_path(key)
         try:
-            with path.open("rb") as fh:
-                outcome = pickle.load(fh)
+            raw = path.read_bytes()
         except FileNotFoundError:
             return None
-        except Exception:  # corrupt/stale/legacy entry: drop and recompute
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError:
+            return None
+        try:
+            if raw.startswith(ENTRY_MAGIC):
+                header, _, payload = raw.partition(b"\n")
+                crc = int(header.split()[1])
+                if zlib.crc32(payload) != crc:
+                    raise ValueError(f"CRC mismatch in {path.name}")
+            else:
+                payload = raw  # pre-checksum entry: unverified
+            outcome = pickle.loads(payload)
+        except Exception:  # corrupt/stale entry: quarantine
+            self._quarantine_file(path)
             return None
         return outcome if isinstance(outcome, ScenarioOutcome) else None
 
     # -- manifest pack --------------------------------------------------
 
     @staticmethod
-    def _scan_pack(fh: BinaryIO) -> dict[str, tuple[int, int]]:
-        """Scan an open pack: key -> (payload offset, size).
+    def _scan_pack(fh: BinaryIO) -> dict[str, tuple[int, int, int | None]]:
+        """Scan an open pack: key -> (payload offset, size, crc32).
 
         Later records win (the pack is append-only); a malformed or
         truncated tail ends the scan -- everything before it stays
         usable, which is exactly what a crashed writer leaves behind.
+        Record headers are ``key size crc32`` (checksummed) or the
+        pre-checksum ``key size`` (``crc32`` then ``None``: such
+        records load unverified, exactly as they always did).
         """
-        index: dict[str, tuple[int, int]] = {}
+        index: dict[str, tuple[int, int, int | None]] = {}
         file_size = os.fstat(fh.fileno()).st_size
         fh.seek(0)
         while True:
@@ -427,18 +526,21 @@ class DiskCache:
             if not header:
                 break
             try:
-                key_bytes, size_bytes = header.split()
+                key_bytes, size_bytes, *crc_bytes = header.split()
                 size = int(size_bytes)
+                crc = int(crc_bytes[0]) if crc_bytes else None
+                if len(crc_bytes) > 1:
+                    raise ValueError(header)
             except ValueError:
                 break
             offset = fh.tell()
             if size < 0 or offset + size > file_size:
                 break
-            index[key_bytes.decode("ascii", "replace")] = (offset, size)
+            index[key_bytes.decode("ascii", "replace")] = (offset, size, crc)
             fh.seek(offset + size)
         return index
 
-    def _load_pack_index(self) -> dict[str, tuple[int, int]]:
+    def _load_pack_index(self) -> dict[str, tuple[int, int, int | None]]:
         """The cached pack index, scanning the manifest once if needed."""
         if self._pack_index is not None:
             return self._pack_index
@@ -474,17 +576,19 @@ class DiskCache:
                 self._drop_read_state()
             else:
                 # Still bad against a fresh scan: genuinely corrupt.
-                # Evict just this key (keeping the rebuilt index) and
-                # let the per-key tier answer.
+                # Quarantine the record bytes, evict just this key
+                # (keeping the rebuilt index) and let the per-key tier
+                # answer; compaction reclaims the dead pack bytes.
+                self._quarantine_record(key, entry)
                 index.pop(key, None)
         return None
 
     def _read_pack_entry(
-        self, key: str, entry: tuple[int, int]
+        self, key: str, entry: tuple[int, int, int | None]
     ) -> "ScenarioOutcome | None":
         from repro.scenarios.spec import ScenarioOutcome
 
-        offset, size = entry
+        offset, size, crc = entry
         try:
             # One long-lived read handle: a warm start costs one open
             # plus seeks, not an open per key.
@@ -492,6 +596,8 @@ class DiskCache:
                 self._pack_read_fh = self.manifest_path.open("rb")
             self._pack_read_fh.seek(offset)
             payload = self._pack_read_fh.read(size)
+            if crc is not None and zlib.crc32(payload) != crc:
+                return None  # bit rot: detected even if it unpickles
             outcome = pickle.loads(payload)
         except Exception:  # corrupt record: fall through to other tiers
             fh, self._pack_read_fh = self._pack_read_fh, None
@@ -555,6 +661,7 @@ class DiskCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
+                fh.write(ENTRY_MAGIC + b" %d\n" % zlib.crc32(payload))
                 fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
@@ -573,10 +680,13 @@ class DiskCache:
             try:
                 fh.seek(0, os.SEEK_END)
                 for key, payload in payloads:
-                    fh.write(f"{key} {len(payload)}\n".encode("ascii"))
+                    crc = zlib.crc32(payload)
+                    fh.write(
+                        f"{key} {len(payload)} {crc}\n".encode("ascii")
+                    )
                     offset = fh.tell()
                     fh.write(payload)
-                    index[key] = (offset, len(payload))
+                    index[key] = (offset, len(payload), crc)
                 fh.flush()
             finally:
                 self._unlock(fh)
@@ -616,10 +726,17 @@ class DiskCache:
             return True  # pre-versioned (v1-era) key
         return int(match.group(1)) < self._live_schema
 
-    def _live_bytes(self, index: dict[str, tuple[int, int]]) -> int:
+    def _live_bytes(
+        self, index: dict[str, tuple[int, int, int | None]]
+    ) -> int:
         return sum(
-            len(f"{key} {size}\n") + size
-            for key, (_, size) in index.items()
+            len(
+                f"{key} {size}\n"
+                if crc is None
+                else f"{key} {size} {crc}\n"
+            )
+            + size
+            for key, (_, size, crc) in index.items()
             if not self._key_is_reclaimable(key)
         )
 
@@ -649,18 +766,21 @@ class DiskCache:
                 return
             fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
             try:
-                new_index: dict[str, tuple[int, int]] = {}
+                new_index: dict[str, tuple[int, int, int | None]] = {}
                 with os.fdopen(fd, "wb") as out:
                     # Live records in offset order: stable and seek-free.
-                    for key, (offset, size) in sorted(
+                    for key, (offset, size, crc) in sorted(
                         index.items(), key=lambda item: item[1][0]
                     ):
                         if self._key_is_reclaimable(key):
                             continue  # version-stranded: reclaim
                         fh.seek(offset)
                         payload = fh.read(size)
-                        out.write(f"{key} {size}\n".encode("ascii"))
-                        new_index[key] = (out.tell(), size)
+                        # Pre-checksum records gain a CRC on the way
+                        # through (the rewrite reads the bytes anyway).
+                        crc = zlib.crc32(payload) if crc is None else crc
+                        out.write(f"{key} {size} {crc}\n".encode("ascii"))
+                        new_index[key] = (out.tell(), size, crc)
                         out.write(payload)
                     out.flush()
                     os.fsync(out.fileno())
@@ -710,12 +830,23 @@ class BatchRunner:
         Size-aware cap on the LRU: total interval observations across
         cached outcomes (oldest entries evict beyond it); 0 removes the
         size bound and leaves only the entry count.
+    retry_policy:
+        Bounds on the fault-tolerance layer (crash retries, watchdog
+        deadlines, serial degradation); ``None`` takes the defaults
+        with ``REPRO_*`` environment overrides
+        (:meth:`~repro.sim.supervise.RetryPolicy.from_env`).
+    journal:
+        Optional :class:`~repro.sim.supervise.RunJournal`; every
+        completed fingerprint (cache hit or fresh run) is appended, so
+        an interrupted invocation can report progress and ``--resume``.
     """
 
     jobs: int = 1
     cache_dir: str | Path | None = None
     memory_entries: int = DEFAULT_MEMORY_ENTRIES
     memory_observations: int = DEFAULT_MEMORY_OBSERVATIONS
+    retry_policy: RetryPolicy | None = None
+    journal: RunJournal | None = None
     cache_hits: int = field(default=0, init=False)
     cache_misses: int = field(default=0, init=False)
     memory_hits: int = field(default=0, init=False)
@@ -723,6 +854,15 @@ class BatchRunner:
     specs_dispatched: int = field(default=0, init=False)
     chunks_dispatched: int = field(default=0, init=False)
     pool_spawns: int = field(default=0, init=False)
+    # -- fault-tolerance counters (the [fault] stderr line) ------------
+    worker_crashes: int = field(default=0, init=False)
+    spec_timeouts: int = field(default=0, init=False)
+    chunk_retries: int = field(default=0, init=False)
+    chunk_bisections: int = field(default=0, init=False)
+    pool_rebuilds: int = field(default=0, init=False)
+    specs_failed: int = field(default=0, init=False)
+    degraded: bool = field(default=False, init=False)
+    stop_requested: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -731,6 +871,8 @@ class BatchRunner:
             raise ValueError("memory_entries must be >= 0")
         if self.memory_observations < 0:
             raise ValueError("memory_observations must be >= 0")
+        if self.retry_policy is None:
+            self.retry_policy = RetryPolicy.from_env()
         self._disk: DiskCache | None = None
         if self.cache_dir is not None:
             from repro.scenarios.spec import cache_key_prefix
@@ -761,11 +903,37 @@ class BatchRunner:
     def close(self) -> None:
         """Shut the worker pool down and close the disk tier, giving it
         its compaction opportunity (idempotent; the caches survive)."""
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+        self._retire_pool()
         if self._disk is not None:
             self._disk.close()
+
+    def request_stop(self) -> None:
+        """Ask the current/next run to stop after draining in flight.
+
+        Signal-handler safe (sets a flag); the supervisor notices within
+        one poll interval, lets in-flight chunks finish, flushes their
+        outcomes to cache and journal, then raises
+        :class:`~repro.errors.RunInterruptedError`.
+        """
+        self.stop_requested = True
+
+    def _retire_pool(self, *, kill: bool = False) -> None:
+        """Tear the pool down; ``kill`` SIGKILLs workers first (the only
+        way out when one is hung -- ``shutdown`` would join it forever).
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except (OSError, AttributeError):  # already gone
+                    pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # broken pools can raise on shutdown too
+            pass
 
     def __enter__(self) -> "BatchRunner":
         return self
@@ -800,7 +968,10 @@ class BatchRunner:
         return results  # type: ignore[return-value]  # every index yielded
 
     def iter_run(
-        self, specs: Iterable["ScenarioSpec"]
+        self,
+        specs: Iterable["ScenarioSpec"],
+        *,
+        on_failure: str = "raise",
     ) -> Iterator[tuple[int, "ScenarioOutcome"]]:
         """Yield ``(input_index, outcome)`` pairs in completion order.
 
@@ -811,9 +982,19 @@ class BatchRunner:
         consumer (the fleet aggregation fold) can reduce each outcome
         and drop it -- only the in-process LRU (bounded by
         ``memory_observations``) retains references.
+
+        A spec that definitively fails (poison spec, repeated watchdog
+        timeout, Python exception in the engine) does not abort its
+        batch-mates.  With ``on_failure="raise"`` (the default) the
+        first failure's :class:`~repro.errors.ExecutionError` is raised
+        *after* every other spec has been yielded; with
+        ``on_failure="yield"`` the error object itself is yielded in
+        the outcome slot, so pack runners can report per-entry status.
         """
         from repro.scenarios.spec import ScenarioSpec
 
+        if on_failure not in ("raise", "yield"):
+            raise ValueError('on_failure must be "raise" or "yield"')
         spec_list = list(specs)
         for spec in spec_list:
             if not isinstance(spec, ScenarioSpec):
@@ -833,15 +1014,29 @@ class BatchRunner:
             cached = self._cache_load(key)
             if cached is not None:
                 self.cache_hits += 1
+                if self.journal is not None:
+                    self.journal.record(key)
                 for index in positions[key]:
                     yield index, cached
             else:
                 pending.append((key, spec))
                 self.cache_misses += 1
 
-        for key, outcome in self._execute(pending):
+        deferred: ExecutionError | None = None
+        for key, result in self._execute(pending):
+            if isinstance(result, ExecutionError):
+                if on_failure == "yield":
+                    for index in positions[key]:
+                        yield index, result  # type: ignore[misc]
+                elif deferred is None:
+                    deferred = result
+                continue
+            if self.journal is not None:
+                self.journal.record(key)
             for index in positions[key]:
-                yield index, outcome
+                yield index, result
+        if deferred is not None:
+            raise deferred
 
     def results(self, specs: Iterable["ScenarioSpec"]):
         """Like :meth:`run` but unwrapped to bare ``ExperimentResult``s."""
@@ -853,8 +1048,12 @@ class BatchRunner:
 
     def _execute(
         self, pending: Sequence[tuple[str, "ScenarioSpec"]]
-    ) -> Iterable[tuple[str, "ScenarioOutcome"]]:
-        """Compute pending specs (completion order) and cache each one."""
+    ) -> Iterable[tuple[str, "ScenarioOutcome | ExecutionError"]]:
+        """Compute pending specs (completion order) and cache each one.
+
+        Yields the spec's :class:`~repro.errors.ExecutionError` in place
+        of its outcome when it definitively failed (never cached).
+        """
         if not pending:
             return
         self.specs_dispatched += len(pending)
@@ -863,40 +1062,43 @@ class BatchRunner:
         if self.jobs > 1 and (self._pool is not None or len(pending) > 1):
             yield from self._execute_pool(pending)
             return
-        for key, spec in pending:
-            outcome = execute_scenario(spec)
+        for position, (key, spec) in enumerate(pending):
+            if self.stop_requested:
+                raise RunInterruptedError(
+                    f"run interrupted: {len(pending) - position} spec(s) "
+                    "still pending; completed work is cached and "
+                    "journaled -- rerun with --resume to continue",
+                    remaining=len(pending) - position,
+                )
+            try:
+                outcome = execute_scenario(spec)
+            except Exception as exc:
+                self.specs_failed += 1
+                yield (
+                    key,
+                    SpecFailedError(
+                        f"spec {spec.describe()} ({key}) raised "
+                        f"{type(exc).__name__}: {exc}",
+                        fingerprint=key,
+                        spec_description=spec.describe(),
+                        exception_type=type(exc).__name__,
+                    ),
+                )
+                continue
             self._cache_store_many([(key, outcome)])
             yield key, outcome
 
     def _execute_pool(
         self, pending: Sequence[tuple[str, "ScenarioSpec"]]
-    ) -> Iterable[tuple[str, "ScenarioOutcome"]]:
+    ) -> Iterable[tuple[str, "ScenarioOutcome | ExecutionError"]]:
         chunks = plan_chunks(pending, self.jobs)
         self.chunks_dispatched += len(chunks)
-        try:
-            pool = self._ensure_pool()
-            futures = {
-                pool.submit(execute_chunk, [spec for _, spec in chunk]): chunk
-                for chunk in chunks
-            }
-        except BrokenProcessPool:
-            self.close()
-            raise
-        not_done = set(futures)
-        try:
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    chunk = futures[future]
-                    items = list(zip((key for key, _ in chunk), future.result()))
-                    self._cache_store_many(items)
-                    yield from items
-        except BrokenProcessPool:
-            self.close()
-            raise
-        finally:
-            for future in not_done:
-                future.cancel()
+        assert self.retry_policy is not None  # __post_init__ resolves it
+        supervisor = PoolSupervisor(self, chunks, self.retry_policy)
+        for key, result in supervisor.events():
+            if not isinstance(result, ExecutionError):
+                self._cache_store_many([(key, result)])
+            yield key, result
 
     # ------------------------------------------------------------------
     # cache

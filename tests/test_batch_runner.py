@@ -230,13 +230,16 @@ class TestCacheCorruption:
         assert recovered.cache_misses == 1
         assert_same_results([original], [outcome])
         # The entry was rewritten and is loadable again.
-        with path.open("rb") as fh:
-            assert pickle.load(fh).spec == spec
+        reloaded = DiskCache(tmp_path).load(spec.fingerprint())
+        assert reloaded is not None and reloaded.spec == spec
 
-    def test_truncated_per_key_entry_deleted_on_detection(self, tmp_path):
+    def test_truncated_per_key_entry_quarantined_on_detection(
+        self, tmp_path, capsys
+    ):
         """Regression: a corrupt per-key pickle used to survive as a
         miss forever, re-parsed (and re-failed) on every warm start; now
-        detection deletes it before the recompute overwrites it."""
+        detection moves it to quarantine/ before the recompute rewrites
+        it -- out of the lookup path but preserved as evidence."""
         spec = tiny_specs()[0]
         BatchRunner(cache_dir=tmp_path).run([spec])
         path = tmp_path / f"{spec.fingerprint()}.pkl"
@@ -246,7 +249,33 @@ class TestCacheCorruption:
 
         runner = BatchRunner(cache_dir=tmp_path, memory_entries=0)
         assert runner._cache_load(spec.fingerprint()) is None
-        assert not path.exists(), "corrupt entry must be deleted, not kept"
+        assert not path.exists(), "corrupt entry must leave the lookup path"
+        quarantined = tmp_path / "quarantine" / path.name
+        assert quarantined.read_bytes() == truncated
+        assert runner.disk.corrupt_entries == 1
+        assert "quarantined corrupt entry" in capsys.readouterr().err
+
+    def test_scribbled_pack_record_quarantined(self, tmp_path, capsys):
+        """A bit-rotted manifest record is copied to quarantine/ and the
+        spec recomputes to the same bytes."""
+        spec = tiny_specs()[0]
+        (original,) = BatchRunner(cache_dir=tmp_path).run([spec])
+        for path in tmp_path.glob("*.pkl"):
+            path.unlink()  # force the pack tier
+        manifest = tmp_path / MANIFEST_NAME
+        data = bytearray(manifest.read_bytes())
+        # Scribble into the record payload, past its header line.
+        data[len(data) // 2] ^= 0xFF
+        manifest.write_bytes(bytes(data))
+
+        runner = BatchRunner(cache_dir=tmp_path, memory_entries=0)
+        (outcome,) = runner.run([spec])
+        assert runner.cache_misses == 1
+        assert_same_results([original], [outcome])
+        assert runner.disk.corrupt_entries == 1
+        records = list((tmp_path / "quarantine").glob("*.pack-record"))
+        assert len(records) == 1
+        assert "quarantined corrupt manifest record" in capsys.readouterr().err
 
     def test_corrupt_per_key_entry_served_from_manifest(self, tmp_path):
         """With a healthy pack record the corrupt per-key file never
@@ -287,7 +316,7 @@ class TestManifestCompaction:
     def read_pack_payload(self, cache_dir, key: str) -> bytes:
         """A key's payload read straight from the pack (fresh index)."""
         cache = DiskCache(cache_dir)
-        offset, size = cache._load_pack_index()[key]
+        offset, size, _crc = cache._load_pack_index()[key]
         with cache.manifest_path.open("rb") as fh:
             fh.seek(offset)
             return fh.read(size)
@@ -554,9 +583,9 @@ class TestConcurrentRunners:
         replay = warm.run(specs)
         assert warm.cache_hits == len(specs) and warm.cache_misses == 0
         assert_same_results(results["a"], replay)
+        per_key = DiskCache(tmp_path)
         for path in tmp_path.glob("*.pkl"):
-            with path.open("rb") as fh:
-                pickle.load(fh)
+            assert per_key._file_load(path.stem) is not None
 
 
 class TestScheduling:

@@ -102,7 +102,7 @@ class TestStatsSummary:
         (cache_line,) = render_stats(runner)
         assert cache_line == (
             f"[cache] 184 hit(s) (120 memory, 64 disk), "
-            f"340 miss(es) in {tmp_path}"
+            f"340 miss(es), corrupt=0 in {tmp_path}"
         )
 
     def test_pool_line_reports_dispatch_shape(self, tmp_path):

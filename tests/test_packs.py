@@ -261,7 +261,8 @@ class TestExecution:
         rows = result.rows()
         assert [row[0] for row in rows] == [
             item.key for item in result.pack.items]
-        for _, kind, qos, power, energy in rows:
+        for _, kind, qos, power, energy, status in rows:
+            assert status == "ok"
             assert 0.0 <= qos <= 1.0
             assert power > 0.0 and energy > 0.0
 
