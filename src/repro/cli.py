@@ -334,6 +334,22 @@ def _open_journal(
         print(f"[journal] {runner.journal.describe()}", file=sys.stderr)
 
 
+def _finish_journal(runner: BatchRunner) -> None:
+    """Truncate the journal after a fully successful run.
+
+    A completed run has nothing for ``--resume`` to pick up (every
+    outcome is cached), so keeping its fingerprint lines only grows
+    ``journal.log`` across invocations.  Interrupted or failed runs
+    keep their journal: those are exactly the ones worth resuming.
+    """
+    if (
+        runner.journal is not None
+        and not runner.stop_requested
+        and not runner.specs_failed
+    ):
+        runner.journal.truncate()
+
+
 @contextmanager
 def _partial_summary(runner: BatchRunner) -> Iterator[None]:
     """On a graceful interrupt, report progress before propagating.
@@ -545,6 +561,8 @@ def _run_pack_command(
                 if not result.all_failed:
                     every_pack_all_failed = False
                 _report_stats(runner, [(pack.name, time.perf_counter() - t0)])
+            if failed_entries == 0:
+                _finish_journal(runner)
     if args.output is not None:
         from pathlib import Path
 
@@ -636,9 +654,11 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
                 t0 = time.perf_counter()
                 print(_run_fleet(args, runner))
                 _report_stats(runner, [("fleet", time.perf_counter() - t0)])
+                _finish_journal(runner)
                 return 0
             if args.experiment == "calibrate":
                 print(_run_calibration(runner))
+                _finish_journal(runner)
                 return 0
             if args.experiment == "all":
                 walls = []
@@ -648,8 +668,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
                     print(_run_one(name, args, runner))
                     walls.append((name, time.perf_counter() - t0))
                 _report_stats(runner, walls)
+                _finish_journal(runner)
                 return 0
             print(_run_one(args.experiment, args, runner))
+            _finish_journal(runner)
     return 0
 
 
@@ -680,6 +702,7 @@ def render_stats(
             f"{runner.chunks_dispatched} chunk(s), "
             f"{runner.cache_hits} served from cache"
         )
+    evictions = runner.disk.quarantine_evictions if runner.disk else 0
     faults = (
         runner.worker_crashes
         + runner.spec_timeouts
@@ -687,6 +710,7 @@ def render_stats(
         + runner.chunk_bisections
         + runner.pool_rebuilds
         + runner.specs_failed
+        + evictions
     )
     if faults or runner.degraded:
         line = (
@@ -697,6 +721,8 @@ def render_stats(
             f"{runner.pool_rebuilds} pool rebuild(s), "
             f"{runner.specs_failed} spec(s) failed"
         )
+        if evictions:
+            line += f", {evictions} quarantine eviction(s)"
         if runner.degraded:
             line += " -- degraded to serial"
         lines.append(line)

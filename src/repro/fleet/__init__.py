@@ -26,11 +26,18 @@ from repro.fleet.balancer import (
     build_balancer,
 )
 from repro.fleet.faults import (
+    CORRELATED_KINDS,
     FAULT_KINDS,
     FaultClause,
     FaultEvent,
     capacity_multipliers,
     lower_faults,
+)
+from repro.fleet.resilience import (
+    ResilienceReport,
+    build_resilience_report,
+    split_with_timeline,
+    timeline_multipliers,
 )
 from repro.fleet.spec import FLEET_SCHEMA_VERSION, FleetSpec
 
@@ -55,6 +62,7 @@ def run_fleet(spec: FleetSpec, runner=None) -> FleetOutcome:
 
 __all__ = [
     "BALANCER_FACTORIES",
+    "CORRELATED_KINDS",
     "FAULT_KINDS",
     "FLEET_SCHEMA_VERSION",
     "FaultClause",
@@ -63,8 +71,12 @@ __all__ = [
     "FleetOutcome",
     "FleetSpec",
     "NodeReduction",
+    "ResilienceReport",
+    "build_resilience_report",
     "capacity_multipliers",
     "lower_faults",
+    "split_with_timeline",
+    "timeline_multipliers",
     "LeastLoadedBalancer",
     "LoadBalancer",
     "PowerAwareBalancer",

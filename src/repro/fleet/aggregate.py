@@ -50,6 +50,9 @@ class NodeReduction:
     total_energy_j: float
     tails_ms: np.ndarray
     powers_w: np.ndarray
+    #: max(tails) / target -- the node's worst interval relative to its
+    #: own QoS target; the resilience report's survivor-overload probe.
+    peak_tail_ratio: float = 0.0
 
     @classmethod
     def from_outcome(cls, index: int, outcome: ScenarioOutcome) -> "NodeReduction":
@@ -66,6 +69,7 @@ class NodeReduction:
             total_energy_j=result.total_energy_j(),
             tails_ms=result.tails_ms,
             powers_w=result.powers_w,
+            peak_tail_ratio=float(np.max(result.tails_ms) / result.target_latency_ms),
         )
 
 
@@ -89,6 +93,7 @@ class FleetAccumulator:
         self._node_utils = np.empty(n)
         self._node_loads = np.empty(n)
         self._node_targets = np.empty(n)
+        self._node_peaks = np.empty(n)
         self._total_energy = 0.0
         self._fleet_tails: np.ndarray | None = None
         self._fleet_powers: np.ndarray | None = None
@@ -141,6 +146,7 @@ class FleetAccumulator:
         self._node_utils[i] = node.mean_utilization
         self._node_loads[i] = node.mean_load
         self._node_targets[i] = node.target_latency_ms
+        self._node_peaks[i] = node.peak_tail_ratio
         self._total_energy += node.total_energy_j
 
     def finish(self) -> "FleetOutcome":
@@ -163,6 +169,7 @@ class FleetAccumulator:
             target_latency_ms=self._target,
             node_targets=self._node_targets,
             fleet_ratio=self._fleet_ratio,
+            node_peak_ratios=self._node_peaks,
         )
 
 
@@ -191,6 +198,9 @@ class FleetOutcome:
     #: Per-interval max of (node tail / node target): the normalized
     #: tail-of-tails a mixed-workload fleet is judged by.
     fleet_ratio: np.ndarray | None = None
+    #: Per-node max(tail)/target peaks; ``None`` on outcomes built
+    #: before the resilience layer.
+    node_peak_ratios: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if len(self.node_powers_w) < 1:
@@ -204,6 +214,7 @@ class FleetOutcome:
             self.fleet_powers,
             self.node_targets,
             self.fleet_ratio,
+            self.node_peak_ratios,
         ):
             if arr is not None:
                 arr.flags.writeable = False
@@ -305,6 +316,22 @@ class FleetOutcome:
         """Aggregate fleet power per interval, watts."""
         return self.fleet_powers
 
+    def resilience_report(self):
+        """The blast-radius digest, or ``None`` for a fleet that never
+        engaged the resilience layer (plain and legacy-fault specs)."""
+        if not self.spec.uses_resilience():
+            return None
+        from repro.fleet.resilience import build_resilience_report
+
+        return build_resilience_report(
+            events=self.spec.fault_schedule(),
+            planned_levels=self.spec.planned_levels(),
+            baseline_levels=self.spec.faultless_levels(),
+            fleet_ratio=self.fleet_ratio,
+            interval_s=self.spec.interval_s,
+            node_peak_ratios=self.node_peak_ratios,
+        )
+
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------
@@ -351,6 +378,9 @@ class FleetOutcome:
                 for e in events
             )
             fault_lines.append(f"faults: {len(events)} event(s) -- {rendered}")
+        report = self.resilience_report()
+        if report is not None:
+            fault_lines.extend(report.render_lines())
         return "\n".join(
             [
                 f"Fleet -- {self.spec.describe()} "

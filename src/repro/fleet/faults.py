@@ -25,6 +25,32 @@ Fault semantics (documented in the README's pack reference):
   its utilization by ``1/factor``.
 * ``straggler`` -- a temporary ``degradation``: the slowdown holds for
   ``duration_s`` seconds, then the node recovers.
+
+Correlated clauses (the resilience layer, :mod:`repro.fleet.resilience`)
+fail whole *racks* (the fleet topology's sorted node groups) instead of
+independent nodes:
+
+* ``rack-death`` -- one fire/onset draw per rack; every member of a
+  struck rack dies together.
+* ``cascading-straggler`` -- a seed straggler raises its rack
+  neighbours' fault hazard: each neighbour draws against ``spread`` and,
+  if struck, begins straggling ``lag_s`` (jittered) seconds after the
+  seed's onset.
+* ``brownout-wave`` -- one fleet-level draw; racks degrade by
+  ``factor`` in block order, staggered ``stagger_s`` apart, for
+  ``duration_s`` each.
+
+Every clause additionally takes ``detection_s`` (the failure-detector
+lag: the balancer keeps routing to the node until detection) and the
+terminal kinds take ``repair_s`` (the node rejoins the pool afterwards).
+Clauses that use neither lower exactly as they always did.
+
+The draw discipline that makes all of this parallel-safe: clauses in
+declared order, draw units (nodes, racks, or the fleet) in index order,
+and a **fixed variate count per unit whether or not the fault fires**
+-- cascading-straggler consumes its neighbour draws even for seeds that
+never fired -- so editing one clause never reshuffles another clause's
+events, and serial ≡ ``--jobs N`` by construction.
 """
 
 from __future__ import annotations
@@ -43,27 +69,76 @@ _FAULT_SEED_SALT = 0xFA57ED
 
 #: Clause kinds and the parameters each accepts beyond ``kind``.
 FAULT_KINDS: dict[str, tuple[str, ...]] = {
-    "node-death": ("probability", "earliest_s", "latest_s"),
-    "degradation": ("probability", "factor", "earliest_s", "latest_s"),
+    "node-death": (
+        "probability",
+        "earliest_s",
+        "latest_s",
+        "detection_s",
+        "repair_s",
+    ),
+    "degradation": (
+        "probability",
+        "factor",
+        "earliest_s",
+        "latest_s",
+        "detection_s",
+        "repair_s",
+    ),
     "straggler": (
         "probability",
         "slowdown",
         "duration_s",
         "earliest_s",
         "latest_s",
+        "detection_s",
+    ),
+    "rack-death": (
+        "probability",
+        "earliest_s",
+        "latest_s",
+        "detection_s",
+        "repair_s",
+    ),
+    "cascading-straggler": (
+        "probability",
+        "slowdown",
+        "duration_s",
+        "spread",
+        "lag_s",
+        "earliest_s",
+        "latest_s",
+        "detection_s",
+    ),
+    "brownout-wave": (
+        "probability",
+        "factor",
+        "duration_s",
+        "stagger_s",
+        "earliest_s",
+        "latest_s",
+        "detection_s",
     ),
 }
+
+#: The clause kinds the resilience layer introduced; a spec using any of
+#: them (or ``detection_s`` / ``repair_s`` on a legacy kind) expands
+#: through the detection/recovery timeline instead of the legacy split.
+CORRELATED_KINDS = frozenset({"rack-death", "cascading-straggler", "brownout-wave"})
 
 
 @dataclass(frozen=True)
 class FaultClause:
     """One validated fault clause (the declarative form).
 
-    ``probability`` is per node: every node draws independently.  The
+    ``probability`` is per draw unit -- node for the independent kinds,
+    rack for ``rack-death``, the whole fleet for ``brownout-wave``.  The
     onset time is uniform in ``[earliest_s, latest_s]`` (``latest_s``
-    defaults to the end of the trace).  ``factor`` (degradation) is the
-    capacity multiplier; ``slowdown`` (straggler) is the service-time
-    multiplier, i.e. a capacity factor of ``1/slowdown``.
+    defaults to the end of the trace).  ``factor`` (degradation /
+    brownout) is the capacity multiplier; ``slowdown`` (stragglers) is
+    the service-time multiplier, i.e. a capacity factor of
+    ``1/slowdown``.  ``detection_s`` is how long the failure detector
+    takes to notice (the balancer keeps routing until then);
+    ``repair_s`` returns a dead/degraded node to the pool.
     """
 
     kind: str
@@ -73,6 +148,11 @@ class FaultClause:
     duration_s: float = 0.0
     earliest_s: float = 0.0
     latest_s: float | None = None
+    detection_s: float = 0.0
+    repair_s: float | None = None
+    spread: float = 0.5
+    lag_s: float = 15.0
+    stagger_s: float = 30.0
 
     @classmethod
     def from_params(cls, params: ParamsLike) -> "FaultClause":
@@ -86,9 +166,7 @@ class FaultClause:
         accepted = FAULT_KINDS[kind]
         unknown = sorted(set(fields) - set(accepted))
         if unknown:
-            raise UnknownParamError(
-                f"fault clause {kind!r}", unknown, accepted
-            )
+            raise UnknownParamError(f"fault clause {kind!r}", unknown, accepted)
         if "probability" not in fields:
             raise ValueError(f"fault clause {kind!r} needs a 'probability'")
         probability = float(fields["probability"])
@@ -102,53 +180,73 @@ class FaultClause:
             latest = float(latest)
             if latest < earliest:
                 raise ValueError("latest_s must be >= earliest_s")
-        clause = cls(
+        values: dict = dict(
             kind=kind,
             probability=probability,
             earliest_s=earliest,
             latest_s=latest,
         )
-        if kind == "degradation":
+        detection = float(fields.get("detection_s", 0.0))
+        if detection < 0:
+            raise ValueError("detection_s must be non-negative")
+        values["detection_s"] = detection
+        if "repair_s" in fields and fields["repair_s"] is not None:
+            repair = float(fields["repair_s"])
+            if repair <= 0:
+                raise ValueError("repair_s must be positive")
+            values["repair_s"] = repair
+        if kind in ("degradation", "brownout-wave"):
             if "factor" not in fields:
-                raise ValueError("a degradation clause needs a 'factor'")
+                raise ValueError(f"a {kind} clause needs a 'factor'")
             factor = float(fields["factor"])
             if not 0.0 < factor < 1.0:
-                raise ValueError("degradation factor must be in (0, 1)")
-            clause = cls(
-                kind=kind,
-                probability=probability,
-                factor=factor,
-                earliest_s=earliest,
-                latest_s=latest,
-            )
-        elif kind == "straggler":
+                raise ValueError(f"{kind} factor must be in (0, 1)")
+            values["factor"] = factor
+        if kind in ("straggler", "cascading-straggler"):
             if "slowdown" not in fields:
-                raise ValueError("a straggler clause needs a 'slowdown'")
-            if "duration_s" not in fields:
-                raise ValueError("a straggler clause needs a 'duration_s'")
+                raise ValueError(f"a {kind} clause needs a 'slowdown'")
             slowdown = float(fields["slowdown"])
-            duration = float(fields["duration_s"])
             if slowdown <= 1.0:
-                raise ValueError("straggler slowdown must be > 1")
+                raise ValueError(f"{kind} slowdown must be > 1")
+            values["slowdown"] = slowdown
+        if kind in ("straggler", "cascading-straggler", "brownout-wave"):
+            if "duration_s" not in fields:
+                raise ValueError(f"a {kind} clause needs a 'duration_s'")
+            duration = float(fields["duration_s"])
             if duration <= 0:
-                raise ValueError("straggler duration_s must be positive")
-            clause = cls(
-                kind=kind,
-                probability=probability,
-                slowdown=slowdown,
-                duration_s=duration,
-                earliest_s=earliest,
-                latest_s=latest,
-            )
-        return clause
+                raise ValueError(f"{kind} duration_s must be positive")
+            values["duration_s"] = duration
+        if kind == "cascading-straggler":
+            spread = float(fields.get("spread", 0.5))
+            if not 0.0 <= spread <= 1.0:
+                raise ValueError("cascading-straggler spread must be in [0, 1]")
+            lag = float(fields.get("lag_s", 15.0))
+            if lag < 0:
+                raise ValueError("cascading-straggler lag_s must be >= 0")
+            values["spread"] = spread
+            values["lag_s"] = lag
+        if kind == "brownout-wave":
+            stagger = float(fields.get("stagger_s", 30.0))
+            if stagger < 0:
+                raise ValueError("brownout-wave stagger_s must be >= 0")
+            values["stagger_s"] = stagger
+        return cls(**values)
 
     def capacity_multiplier(self) -> float:
         """The per-interval capacity factor this clause applies."""
-        if self.kind == "node-death":
+        if self.kind in ("node-death", "rack-death"):
             return 0.0
-        if self.kind == "degradation":
+        if self.kind in ("degradation", "brownout-wave"):
             return self.factor
         return 1.0 / self.slowdown
+
+    def uses_timeline(self) -> bool:
+        """Whether this clause needs the detection/recovery timeline."""
+        return (
+            self.kind in CORRELATED_KINDS
+            or self.detection_s > 0.0
+            or self.repair_s is not None
+        )
 
 
 def freeze_clauses(clauses) -> tuple[Params, ...]:
@@ -166,6 +264,11 @@ class FaultEvent:
 
     ``multiplier`` is 0.0 for a death, the capacity factor otherwise;
     the window is half-open ``[start_interval, end_interval)``.
+    ``detect_interval`` is when the failure detector notices (``None``
+    means instantly, the legacy behaviour) -- physically the fault
+    holds from ``start_interval``, but the balancer only reacts from
+    ``detect_interval`` on.  Repair (``end_interval`` before the run
+    ends) is assumed observed immediately.
     """
 
     node: int
@@ -173,6 +276,46 @@ class FaultEvent:
     start_interval: int
     end_interval: int
     multiplier: float
+    detect_interval: int | None = None
+
+    @property
+    def detected_at(self) -> int:
+        """The interval the balancer learns of this fault."""
+        if self.detect_interval is None:
+            return self.start_interval
+        return min(self.detect_interval, self.end_interval)
+
+
+#: The default topology: every node in one rack (index order).
+def _default_racks(n_nodes: int) -> tuple[tuple[str, tuple[int, ...]], ...]:
+    return (("rack0", tuple(range(n_nodes))),)
+
+
+def _detect(
+    clause: FaultClause, start: int, end: int, interval_s: float
+) -> int | None:
+    """The detect interval for a window, or ``None`` (instant)."""
+    if clause.detection_s <= 0.0:
+        return None
+    return min(start + math.ceil(clause.detection_s / interval_s), end)
+
+
+def _window(
+    clause: FaultClause,
+    onset_s: float,
+    *,
+    n_intervals: int,
+    interval_s: float,
+) -> tuple[int, int]:
+    """``[start, end)`` intervals for one fired clause at ``onset_s``."""
+    start = min(int(onset_s / interval_s), n_intervals)
+    if clause.kind in ("straggler", "cascading-straggler", "brownout-wave"):
+        end = start + math.ceil(clause.duration_s / interval_s)
+    elif clause.repair_s is not None:
+        end = start + math.ceil(clause.repair_s / interval_s)
+    else:
+        end = n_intervals
+    return start, min(end, n_intervals)
 
 
 def lower_faults(
@@ -182,18 +325,24 @@ def lower_faults(
     n_nodes: int,
     n_intervals: int,
     interval_s: float,
+    racks: tuple[tuple[str, tuple[int, ...]], ...] | None = None,
 ) -> tuple[FaultEvent, ...]:
     """Lower probabilistic clauses into a deterministic event schedule.
 
-    The draw order is fixed -- clauses in declared order, nodes in index
-    order, and every (clause, node) pair consumes exactly two variates
-    (fire? and onset time) whether or not the fault fires -- so editing
+    The draw order is fixed -- clauses in declared order, draw units
+    (nodes, racks, or the fleet) in index order, and every unit consumes
+    a fixed variate count whether or not the fault fires -- so editing
     one clause's probability never reshuffles the events another clause
     produces.  The rng stream is derived from the fleet seed alone.
+    ``racks`` supplies the topology for the correlated kinds (defaults
+    to one rack holding every node); independent kinds ignore it, so a
+    topology-free spec lowers exactly as before.
     """
     if not clauses:
         return ()
     rng = np.random.default_rng(seed ^ _FAULT_SEED_SALT)
+    if racks is None or not racks:
+        racks = _default_racks(n_nodes)
     duration_s = n_intervals * interval_s
     events: list[FaultEvent] = []
     for clause_params in clauses:
@@ -201,31 +350,195 @@ def lower_faults(
         latest = clause.latest_s if clause.latest_s is not None else duration_s
         latest = min(latest, duration_s)
         earliest = min(clause.earliest_s, latest)
-        for node in range(n_nodes):
-            fire = float(rng.random())
-            onset_s = float(rng.uniform(earliest, latest))
-            if fire >= clause.probability:
-                continue
-            start = min(int(onset_s / interval_s), n_intervals)
-            if clause.kind == "straggler":
-                end = min(
-                    start + math.ceil(clause.duration_s / interval_s),
-                    n_intervals,
+        if clause.kind == "rack-death":
+            _lower_rack_death(
+                clause,
+                racks,
+                rng,
+                events,
+                earliest=earliest,
+                latest=latest,
+                n_intervals=n_intervals,
+                interval_s=interval_s,
+            )
+        elif clause.kind == "cascading-straggler":
+            _lower_cascading(
+                clause,
+                racks,
+                rng,
+                events,
+                earliest=earliest,
+                latest=latest,
+                n_nodes=n_nodes,
+                n_intervals=n_intervals,
+                interval_s=interval_s,
+            )
+        elif clause.kind == "brownout-wave":
+            _lower_brownout(
+                clause,
+                racks,
+                rng,
+                events,
+                earliest=earliest,
+                latest=latest,
+                n_intervals=n_intervals,
+                interval_s=interval_s,
+            )
+        else:
+            # The independent kinds: exactly two variates per node, in
+            # node order -- byte-identical draws to the pre-resilience
+            # lowering for clauses without detection/repair.
+            for node in range(n_nodes):
+                fire = float(rng.random())
+                onset_s = float(rng.uniform(earliest, latest))
+                if fire >= clause.probability:
+                    continue
+                start, end = _window(
+                    clause,
+                    onset_s,
+                    n_intervals=n_intervals,
+                    interval_s=interval_s,
                 )
-            else:
-                end = n_intervals
-            if start >= end:
-                continue
+                if start >= end:
+                    continue
+                events.append(
+                    FaultEvent(
+                        node=node,
+                        kind=clause.kind,
+                        start_interval=start,
+                        end_interval=end,
+                        multiplier=clause.capacity_multiplier(),
+                        detect_interval=_detect(clause, start, end, interval_s),
+                    )
+                )
+    return tuple(events)
+
+
+def _lower_rack_death(
+    clause, racks, rng, events, *, earliest, latest, n_intervals, interval_s
+) -> None:
+    """One fire/onset draw per rack; a struck rack dies as one."""
+    for _name, members in racks:
+        fire = float(rng.random())
+        onset_s = float(rng.uniform(earliest, latest))
+        if fire >= clause.probability:
+            continue
+        start, end = _window(
+            clause, onset_s, n_intervals=n_intervals, interval_s=interval_s
+        )
+        if start >= end:
+            continue
+        detect = _detect(clause, start, end, interval_s)
+        for node in members:
             events.append(
                 FaultEvent(
                     node=node,
                     kind=clause.kind,
                     start_interval=start,
                     end_interval=end,
-                    multiplier=clause.capacity_multiplier(),
+                    multiplier=0.0,
+                    detect_interval=detect,
                 )
             )
-    return tuple(events)
+
+
+def _lower_cascading(
+    clause, racks, rng, events, *, earliest, latest, n_nodes, n_intervals, interval_s
+) -> None:
+    """Seed stragglers plus rack-neighbour cascades.
+
+    Two draw phases, both fixed-count: (1) per node, fire/onset for the
+    seed straggler; (2) per node, per rack neighbour in index order,
+    cascade-fire/lag-jitter -- consumed even when the seed never fired,
+    so one node's outcome cannot shift another's draws.
+    """
+    seeds: list[tuple[bool, float]] = []
+    for _node in range(n_nodes):
+        fire = float(rng.random())
+        onset_s = float(rng.uniform(earliest, latest))
+        seeds.append((fire < clause.probability, onset_s))
+    rack_of: dict[int, tuple[int, ...]] = {}
+    for _name, members in racks:
+        for node in members:
+            rack_of[node] = members
+    multiplier = clause.capacity_multiplier()
+    for node in range(n_nodes):
+        fired, onset_s = seeds[node]
+        if fired:
+            start, end = _window(
+                clause,
+                onset_s,
+                n_intervals=n_intervals,
+                interval_s=interval_s,
+            )
+            if start < end:
+                events.append(
+                    FaultEvent(
+                        node=node,
+                        kind=clause.kind,
+                        start_interval=start,
+                        end_interval=end,
+                        multiplier=multiplier,
+                        detect_interval=_detect(clause, start, end, interval_s),
+                    )
+                )
+        for neighbor in rack_of.get(node, ()):
+            if neighbor == node:
+                continue
+            cascade = float(rng.random())
+            jitter = float(rng.uniform(0.5, 1.5))
+            if not fired or cascade >= clause.spread:
+                continue
+            lag_onset = onset_s + clause.lag_s * jitter
+            start, end = _window(
+                clause,
+                lag_onset,
+                n_intervals=n_intervals,
+                interval_s=interval_s,
+            )
+            if start >= end:
+                continue
+            events.append(
+                FaultEvent(
+                    node=neighbor,
+                    kind=clause.kind,
+                    start_interval=start,
+                    end_interval=end,
+                    multiplier=multiplier,
+                    detect_interval=_detect(clause, start, end, interval_s),
+                )
+            )
+
+
+def _lower_brownout(
+    clause, racks, rng, events, *, earliest, latest, n_intervals, interval_s
+) -> None:
+    """One fleet-level draw; racks brown out in block order, staggered."""
+    fire = float(rng.random())
+    onset_s = float(rng.uniform(earliest, latest))
+    if fire >= clause.probability:
+        return
+    for rank, (_name, members) in enumerate(racks):
+        start, end = _window(
+            clause,
+            onset_s + rank * clause.stagger_s,
+            n_intervals=n_intervals,
+            interval_s=interval_s,
+        )
+        if start >= end:
+            continue
+        detect = _detect(clause, start, end, interval_s)
+        for node in members:
+            events.append(
+                FaultEvent(
+                    node=node,
+                    kind=clause.kind,
+                    start_interval=start,
+                    end_interval=end,
+                    multiplier=clause.factor,
+                    detect_interval=detect,
+                )
+            )
 
 
 def capacity_multipliers(
@@ -243,6 +556,7 @@ def capacity_multipliers(
 
 
 __all__ = [
+    "CORRELATED_KINDS",
     "FAULT_KINDS",
     "FaultClause",
     "FaultEvent",

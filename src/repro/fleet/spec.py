@@ -29,11 +29,13 @@ from repro.fleet.balancer import (
     build_balancer,
 )
 from repro.fleet.faults import (
+    FaultClause,
     FaultEvent,
     capacity_multipliers,
     freeze_clauses,
     lower_faults,
 )
+from repro.fleet.resilience import split_with_timeline
 from repro.scenarios.spec import (
     DEFAULT_SEED,
     SCHEMA_VERSION,
@@ -54,7 +56,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: 2 = fault clauses + heterogeneous workload mixes fold into the
 #: fingerprint payload (faultless homogeneous fleets still expand to
 #: byte-identical node specs, so their cached node outcomes survive).
-FLEET_SCHEMA_VERSION = 2
+#: 3 = the resilience layer: topology racks, correlated fault clauses
+#: and detection/repair timelines.  Only specs that *use* those (see
+#: :meth:`FleetSpec.uses_resilience`) fingerprint at 3 -- everything
+#: else keeps the version-2 payload, so existing fingerprints and
+#: cached outcomes survive untouched.
+FLEET_SCHEMA_VERSION = 3
+
+#: The fingerprint payload version for specs untouched by the
+#: resilience layer (kept so their identities never move).
+_LEGACY_FLEET_SCHEMA_VERSION = 2
 
 #: Offset mixed into per-node seeds so node RNG streams never collide
 #: with the fleet seed itself or with neighbouring single-node runs.
@@ -95,6 +106,13 @@ class FleetSpec:
         Probabilistic fault clauses (see :mod:`repro.fleet.faults`),
         lowered into a deterministic seed-derived event schedule at
         expansion time.
+    topology:
+        Optional rack/zone layout: ``{rack_name: node_count}`` pairs
+        summing to ``n_nodes``.  Nodes are assigned in
+        sorted-rack-name blocks (the frozen-params order), exactly
+        like ``workload_mix``.  The correlated fault kinds
+        (``rack-death``, ``cascading-straggler``, ``brownout-wave``)
+        draw per rack; empty means one rack holding the whole fleet.
     seed:
         Fleet seed; node seeds, capacity factors and fault schedules
         derive from it.
@@ -116,6 +134,7 @@ class FleetSpec:
     workload_params: Params = ()
     workload_mix: Params = ()
     faults: tuple[Params, ...] = ()
+    topology: Params = ()
     platform: str = "juno_r1"
     batch_jobs: str | None = None
     seed: int = DEFAULT_SEED
@@ -126,6 +145,7 @@ class FleetSpec:
         for attr in ("balancer_params", "manager_params", "workload_params"):
             object.__setattr__(self, attr, freeze_params(getattr(self, attr)))
         object.__setattr__(self, "workload_mix", freeze_params(self.workload_mix))
+        object.__setattr__(self, "topology", freeze_params(self.topology))
         object.__setattr__(self, "faults", freeze_clauses(self.faults))
         if self.n_nodes < 1:
             raise ValueError("a fleet needs at least one node")
@@ -144,6 +164,15 @@ class FleetSpec:
             if sum(counts) != self.n_nodes:
                 raise ValueError(
                     f"workload_mix counts sum to {sum(counts)}, "
+                    f"but the fleet has {self.n_nodes} nodes"
+                )
+        if self.topology:
+            counts = [count for _, count in self.topology]
+            if any(not isinstance(c, int) or c < 1 for c in counts):
+                raise ValueError("topology rack counts must be positive ints")
+            if sum(counts) != self.n_nodes:
+                raise ValueError(
+                    f"topology rack counts sum to {sum(counts)}, "
                     f"but the fleet has {self.n_nodes} nodes"
                 )
         # Node-field validation (workload/manager/platform/batch keys)
@@ -172,9 +201,17 @@ class FleetSpec:
         return replace(self, **changes)
 
     def fingerprint(self) -> str:
-        """Stable identity over every expansion-affecting field."""
+        """Stable identity over every expansion-affecting field.
+
+        Specs untouched by the resilience layer hash the exact
+        version-2 payload so their fingerprints (and every cached node
+        outcome behind them) never move; resilience specs append the
+        topology and hash at :data:`FLEET_SCHEMA_VERSION`.
+        """
         payload = (
-            FLEET_SCHEMA_VERSION,
+            FLEET_SCHEMA_VERSION
+            if self.uses_resilience()
+            else _LEGACY_FLEET_SCHEMA_VERSION,
             SCHEMA_VERSION,
             KERNEL_VERSION,
             self.workload,
@@ -193,6 +230,8 @@ class FleetSpec:
             self.seed,
             self.interval_s,
         )
+        if self.uses_resilience():
+            payload = payload + (self.topology,)
         return hashlib.sha256(repr(payload).encode()).hexdigest()[:24]
 
     def describe(self) -> str:
@@ -250,6 +289,36 @@ class FleetSpec:
         """Whether nodes serve more than one workload."""
         return len(set(self.node_workloads())) > 1
 
+    def rack_blocks(self) -> tuple[tuple[str, tuple[int, ...]], ...]:
+        """The topology as ``(rack_name, node_indices)`` blocks.
+
+        Racks are assigned in sorted-name blocks over the node index
+        space (the frozen-params order), so the layout is a pure
+        function of the spec.  Without a ``topology`` the whole fleet
+        is one rack.
+        """
+        if not self.topology:
+            return (("rack0", tuple(range(self.n_nodes))),)
+        blocks: list[tuple[str, tuple[int, ...]]] = []
+        cursor = 0
+        for name, count in self.topology:
+            blocks.append((name, tuple(range(cursor, cursor + count))))
+            cursor += count
+        return tuple(blocks)
+
+    def uses_resilience(self) -> bool:
+        """Whether this spec engages the resilience layer.
+
+        True when a topology is declared, a correlated fault kind is
+        used, or any clause carries ``detection_s`` / ``repair_s``.
+        Everything else expands through the legacy paths byte-for-byte.
+        """
+        if self.topology:
+            return True
+        return any(
+            FaultClause.from_params(clause).uses_timeline() for clause in self.faults
+        )
+
     # ------------------------------------------------------------------
     # fault lowering
     # ------------------------------------------------------------------
@@ -270,6 +339,7 @@ class FleetSpec:
             n_nodes=self.n_nodes,
             n_intervals=n_intervals,
             interval_s=self.interval_s,
+            racks=self.rack_blocks(),
         )
 
     def fault_multipliers(self) -> np.ndarray:
@@ -296,18 +366,34 @@ class FleetSpec:
         object.__setattr__(self, "_node_specs_memo", specs)
         return specs
 
+    def planned_levels(self) -> np.ndarray:
+        """The ``(n_intervals, n_nodes)`` offered-load plan the
+        expansion encodes into each node's sampled trace (before
+        rounding)."""
+        capacities = self.node_capacities()
+        balancer = build_balancer(self.balancer, self.balancer_params)
+        events = self.fault_schedule()
+        if events and self.uses_resilience():
+            return split_with_timeline(
+                self.fleet_loads(), capacities, balancer, events
+            )
+        if events:
+            return self._split_with_faults(balancer, capacities, events)
+        # The pre-fault path, untouched: faultless fleets expand to
+        # byte-identical node specs (and cached node outcomes).
+        return balancer.split(self.fleet_loads(), capacities)
+
+    def faultless_levels(self) -> np.ndarray:
+        """The counterfactual plan with no faults at all -- the
+        blast-radius baseline the resilience report diffs against."""
+        balancer = build_balancer(self.balancer, self.balancer_params)
+        return balancer.split(self.fleet_loads(), self.node_capacities())
+
     def _expand_node_specs(self) -> tuple[ScenarioSpec, ...]:
         from repro.scenarios import factories
 
         capacities = self.node_capacities()
-        balancer = build_balancer(self.balancer, self.balancer_params)
-        events = self.fault_schedule()
-        if events:
-            levels = self._split_with_faults(balancer, capacities, events)
-        else:
-            # The pre-fault path, untouched: faultless fleets expand to
-            # byte-identical node specs (and cached node outcomes).
-            levels = balancer.split(self.fleet_loads(), capacities)
+        levels = self.planned_levels()
         workloads = self.node_workloads()
         base_demand_ms = {
             workload: factories.build_workload(

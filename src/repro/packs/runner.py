@@ -97,26 +97,47 @@ class PackResult:
                 )
         return rows
 
+    def resilience_reports(self) -> list[tuple[str, Any]]:
+        """``(key, ResilienceReport)`` for every resilient fleet entry.
+
+        Empty unless an entry's fleet engaged the resilience layer
+        (topology, correlated clauses, or detection/repair timelines),
+        so plain packs render and summarize exactly as before.
+        """
+        reports = []
+        for item, outcome in zip(self.pack.items, self.outcomes):
+            if not item.is_fleet or isinstance(outcome, ExecutionError):
+                continue
+            report = outcome.resilience_report()
+            if report is not None:
+                reports.append((item.key, report))
+        return reports
+
     def summary(self) -> dict[str, Any]:
         """A JSON-ready digest (the CI artifact format).
 
         Failed entries carry ``null`` metrics, their ``status`` names
         the error type, and the top level counts ``failed`` entries so
-        CI can gate on partial success without parsing rows.
+        CI can gate on partial success without parsing rows.  Resilient
+        fleet entries additionally carry a ``resilience`` mapping
+        (blast radius, degradation depth, time-to-recover; see
+        :class:`~repro.fleet.resilience.ResilienceReport`).
         """
+        reports = dict(self.resilience_reports())
         items = []
         for key, kind, qos, power, energy, status in self.rows():
             failed = status != "ok"
-            items.append(
-                {
-                    "key": key,
-                    "kind": kind,
-                    "status": status,
-                    "qos_guarantee": None if failed else round(qos, 6),
-                    "mean_power_w": None if failed else round(power, 6),
-                    "total_energy_j": None if failed else round(energy, 3),
-                }
-            )
+            entry = {
+                "key": key,
+                "kind": kind,
+                "status": status,
+                "qos_guarantee": None if failed else round(qos, 6),
+                "mean_power_w": None if failed else round(power, 6),
+                "total_energy_j": None if failed else round(energy, 3),
+            }
+            if key in reports:
+                entry["resilience"] = reports[key].as_dict()
+            items.append(entry)
         return {
             "pack": self.pack.name,
             "source": self.pack.source,
@@ -142,15 +163,17 @@ class PackResult:
         header = f"Pack -- {self.pack.name} ({len(self.pack.items)} runs)"
         if self.pack.description:
             header += f": {self.pack.description}"
-        return "\n".join(
-            [
-                header,
-                ascii_table(
-                    ["run", "kind", "QoS", "power", "energy", "status"],
-                    table_rows,
-                ),
-            ]
-        )
+        lines = [
+            header,
+            ascii_table(
+                ["run", "kind", "QoS", "power", "energy", "status"],
+                table_rows,
+            ),
+        ]
+        for key, report in self.resilience_reports():
+            lines.append(f"{key}:")
+            lines.extend(f"  {line}" for line in report.render_lines())
+        return "\n".join(lines)
 
 
 def run_pack(

@@ -68,8 +68,10 @@ deadline derived from :func:`estimate_cost` and ends in
 and a pool that keeps dying degrades to in-process serial execution.
 Corrupt cache entries are moved to ``<cache-dir>/quarantine/`` (with a
 one-line stderr warning) instead of being deleted, so a bad disk or a
-chaos run leaves evidence behind.  Completed fingerprints can be
-journaled (:class:`~repro.sim.supervise.RunJournal`) for crash-safe
+chaos run leaves evidence behind; the quarantine itself is bounded
+(256 MiB / 256 entries by default, oldest evicted first) so the
+evidence locker cannot grow without limit.  Completed fingerprints can
+be journaled (:class:`~repro.sim.supervise.RunJournal`) for crash-safe
 ``--resume``.  None of this can change results: every spec is a pure
 function of itself, so retried, resumed and fault-free runs are
 byte-identical.
@@ -103,9 +105,16 @@ if TYPE_CHECKING:  # pragma: no cover - break the sim <-> scenarios cycle
 #: Name of the append-only manifest inside a cache directory.
 MANIFEST_NAME = "manifest.pack"
 
-#: Subdirectory corrupt cache entries are moved to (never deleted):
-#: evidence for post-mortems, out of the lookup path forever.
+#: Subdirectory corrupt cache entries are moved to: evidence for
+#: post-mortems, out of the lookup path.
 QUARANTINE_DIR = "quarantine"
+
+#: Quarantine growth bounds: total bytes and entry count.  Quarantine
+#: is evidence, not an archive -- without a cap a long-lived shared
+#: cache directory on flaky storage accretes corrupt blobs forever.
+#: Oldest entries are evicted first once either bound is crossed.
+QUARANTINE_MAX_BYTES = 256 * 2**20
+QUARANTINE_MAX_ENTRIES = 256
 
 #: Magic of checksummed per-key entries: ``reproblob1 <crc32>\n`` then
 #: the pickled payload.  Bit rot that still unpickles cleanly (4 bytes
@@ -333,6 +342,8 @@ class DiskCache:
         live_prefix: str | None = None,
         compact_min_dead_bytes: int = COMPACT_MIN_DEAD_BYTES,
         compact_dead_fraction: float = COMPACT_DEAD_FRACTION,
+        quarantine_max_bytes: int = QUARANTINE_MAX_BYTES,
+        quarantine_max_entries: int = QUARANTINE_MAX_ENTRIES,
     ):
         self.cache_dir = Path(cache_dir)
         #: Keys of the current cache-format generation start with this
@@ -351,9 +362,12 @@ class DiskCache:
         self._live_schema = int(match.group(1)) if match else None
         self.compact_min_dead_bytes = compact_min_dead_bytes
         self.compact_dead_fraction = compact_dead_fraction
+        self.quarantine_max_bytes = quarantine_max_bytes
+        self.quarantine_max_entries = quarantine_max_entries
         self.compactions = 0
         self.stranded_files_removed = 0
         self.corrupt_entries = 0
+        self.quarantine_evictions = 0
         self._pack_index: dict[str, tuple[int, int]] | None = None
         self._pack_read_fh: BinaryIO | None = None
 
@@ -438,6 +452,7 @@ class DiskCache:
             f"[cache] quarantined corrupt entry {path.name} -> {target}",
             file=sys.stderr,
         )
+        self._bound_quarantine()
 
     def _quarantine_record(
         self, key: str, entry: tuple[int, int, int | None]
@@ -463,6 +478,35 @@ class DiskCache:
             f"[cache] quarantined corrupt manifest record {key} -> {target}",
             file=sys.stderr,
         )
+        self._bound_quarantine()
+
+    def _bound_quarantine(self) -> None:
+        """Evict oldest quarantine entries past the size/count bounds.
+
+        Best-effort (a racing eviction or an unreadable entry is
+        skipped); evictions are counted for the ``[fault]`` stats line.
+        """
+        try:
+            entries = [
+                (path.stat().st_mtime, path.name, path.stat().st_size, path)
+                for path in self.quarantine_path.iterdir()
+                if path.is_file()
+            ]
+        except OSError:  # pragma: no cover - vanished quarantine dir
+            return
+        entries.sort()
+        total = sum(size for _, _, size, _ in entries)
+        while entries and (
+            total > self.quarantine_max_bytes
+            or len(entries) > self.quarantine_max_entries
+        ):
+            _, _, size, path = entries.pop(0)
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing delete
+                continue
+            total -= size
+            self.quarantine_evictions += 1
 
     # -- loads ----------------------------------------------------------
 

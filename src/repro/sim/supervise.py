@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import sys
 import tempfile
 import time
 from collections import deque
@@ -79,6 +80,35 @@ _POLL_S = 0.5
 # ----------------------------------------------------------------------
 # retry / timeout policy
 # ----------------------------------------------------------------------
+
+
+#: ``REPRO_*`` names already warned about this process (warn once).
+_warned_env: set[str] = set()
+
+
+def _warn_unknown_env(known: set[str]) -> None:
+    """Flag ``REPRO_*`` variables that match no known knob.
+
+    A typo'd override (``REPRO_TIMEOUT_FLOOR=0`` for
+    ``REPRO_TIMEOUT_FLOOR_S``) would otherwise silently fall back to
+    the default -- the worst failure mode for an operator tightening
+    deadlines.  Warns once per name per process, with a did-you-mean.
+    """
+    from repro.errors import suggest
+
+    for name in sorted(os.environ):
+        if not name.startswith("REPRO_") or name in known:
+            continue
+        if name in _warned_env:
+            continue
+        _warned_env.add(name)
+        hint = suggest(name, sorted(known))
+        hint_text = f" -- did you mean {hint!r}?" if hint else ""
+        print(
+            f"[env] unrecognized {name} (ignored){hint_text} "
+            f"known: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
 
 
 def _env_float(name: str, default: float) -> float:
@@ -122,14 +152,22 @@ class RetryPolicy:
 
     @classmethod
     def from_env(cls) -> "RetryPolicy":
-        """The default policy with ``REPRO_*`` environment overrides."""
+        """The default policy with ``REPRO_*`` environment overrides.
+
+        Unrecognized ``REPRO_*`` variables are flagged on stderr with a
+        did-you-mean (once per process) instead of silently using the
+        defaults.
+        """
         values = {}
+        known = {"REPRO_CHAOS"}  # the chaos harness's own knob
         for spec in fields(cls):
             env = f"REPRO_{spec.name.upper()}"
+            known.add(env)
             if spec.type in ("int", int):
                 values[spec.name] = _env_int(env, spec.default)
             else:
                 values[spec.name] = _env_float(env, spec.default)
+        _warn_unknown_env(known)
         return cls(**values)
 
     def backoff_s(self, failures: int) -> float:
@@ -617,6 +655,31 @@ class RunJournal:
             return  # advisory: losing a journal line only costs stats
         self.completed.add(key)
         self.recorded += 1
+
+    def truncate(self) -> None:
+        """Empty the journal after a fully successful run.
+
+        A finished run's journal is pure history -- every outcome is in
+        the cache, so ``--resume`` has nothing to add -- and without
+        truncation the file grows across invocations forever.  The file
+        is emptied (not deleted) under the same ``flock`` appends take;
+        an empty journal reads as *no journal* on the next open, so a
+        later ``--resume`` starts fresh.  Advisory like ``record``:
+        an OSError leaves the journal as-is.
+        """
+        try:
+            with self.path.open("r+b") as fh:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    fh.truncate(0)
+                    fh.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            return
+        self.completed = set()
 
     def describe(self) -> str:
         state = "resumed" if self.resumed else "fresh"

@@ -1,0 +1,757 @@
+"""The correlated-fault resilience layer and its satellites.
+
+Three concerns, in one suite:
+
+* **Byte-identity with HEAD** -- golden pins (fingerprints, node
+  fingerprints, a full-render hash) recorded *before* the resilience
+  layer landed: faultless fleets and legacy independent fault clauses
+  must not move by a byte.
+* **Determinism of the new machinery** -- correlated clauses
+  (rack-death / cascading-straggler / brownout-wave) lower to identical
+  schedules on every call, stay isolated under the fixed-draw-order
+  discipline (hypothesis fuzz over seeds and clause mixes), and a
+  resilient fleet renders byte-identically serial vs ``--jobs 4``.
+* **The robustness satellites** -- bounded quarantine, unknown
+  ``REPRO_*`` warnings, and journal truncation after success.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    CORRELATED_KINDS,
+    FaultClause,
+    FleetSpec,
+    lower_faults,
+    split_with_timeline,
+    timeline_multipliers,
+)
+from repro.fleet.balancer import build_balancer
+from repro.scenarios.spec import TraceSpec
+from repro.sim.batch import BatchRunner, DiskCache
+from repro.sim.supervise import RetryPolicy, RunJournal
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the image bakes hypothesis in
+    HAVE_HYPOTHESIS = False
+
+
+def plain_fleet(**overrides) -> FleetSpec:
+    params = dict(
+        workload="memcached",
+        trace=TraceSpec.constant(0.6, 60.0),
+        manager="static-big",
+        n_nodes=8,
+        seed=5,
+    )
+    params.update(overrides)
+    return FleetSpec(**params)
+
+
+CORRELATED_FAULTS = (
+    {
+        "kind": "rack-death",
+        "probability": 0.45,
+        "earliest_s": 10.0,
+        "latest_s": 30.0,
+        "detection_s": 4.0,
+        "repair_s": 15.0,
+    },
+    {
+        "kind": "cascading-straggler",
+        "probability": 0.25,
+        "slowdown": 2.0,
+        "duration_s": 10.0,
+        "spread": 0.7,
+        "detection_s": 2.0,
+    },
+)
+
+
+def resilient_fleet(**overrides) -> FleetSpec:
+    params = dict(
+        balancer="least-loaded",
+        topology={"rackA": 4, "rackB": 4},
+        faults=CORRELATED_FAULTS,
+        seed=3,
+    )
+    params.update(overrides)
+    return plain_fleet(**params)
+
+
+# ----------------------------------------------------------------------
+# golden pins: byte-identity with the pre-resilience HEAD
+# ----------------------------------------------------------------------
+
+
+class TestGoldenPins:
+    """Values recorded at the commit before this layer landed."""
+
+    def test_faultless_fleet_fingerprint_unmoved(self):
+        assert plain_fleet().fingerprint() == "47582b7e2ae43fe15313c3d1"
+
+    def test_faultless_fleet_node_fingerprints_unmoved(self):
+        expected = [
+            "s2-lindley-v1-5241818d35632ac8bcbde5d6",
+            "s2-lindley-v1-402d6c508d3219c1507e4fef",
+            "s2-lindley-v1-ed319fe194ba27ea3e656e7f",
+            "s2-lindley-v1-1e40c767a227d0c91154ca37",
+            "s2-lindley-v1-6c14ed22b4f7166ecdcdbd90",
+            "s2-lindley-v1-7e3fec9d7b1649b15a785692",
+            "s2-lindley-v1-1e761a95c27a40ec96aa327c",
+            "s2-lindley-v1-247c2e0ba212b9f74abd21be",
+        ]
+        actual = [spec.fingerprint() for spec in plain_fleet().node_specs()]
+        assert actual == expected
+
+    def test_faultless_fleet_render_unmoved(self):
+        digest = hashlib.sha256(
+            plain_fleet().run().render().encode()
+        ).hexdigest()
+        assert digest == (
+            "865d6aed1ec8490d7a416cbd62f1e4edfa464b6fa06a759e985a02693ec0a5e4"
+        )
+
+    def test_registry_fleet_unmoved(self):
+        from repro.scenarios import DEFAULT_REGISTRY
+
+        spec = DEFAULT_REGISTRY.build(
+            "fleet-diurnal",
+            workload="memcached",
+            n_nodes=8,
+            balancer="least-loaded",
+            quick=True,
+        )
+        assert spec.fingerprint() == "c26b5eed318bed02344f7b89"
+        joined = ",".join(s.fingerprint() for s in spec.node_specs())
+        assert hashlib.sha256(joined.encode()).hexdigest() == (
+            "b110851edc13f4d9212e2ceda9e198954aefb7430d102967a52eccde72d04acd"
+        )
+
+    def test_legacy_fault_clauses_unmoved(self):
+        spec = plain_fleet(
+            seed=0,
+            faults=(
+                {"kind": "node-death", "probability": 0.3, "earliest_s": 10.0},
+                {
+                    "kind": "straggler",
+                    "probability": 0.6,
+                    "slowdown": 2.0,
+                    "duration_s": 8.0,
+                },
+            ),
+        )
+        assert not spec.uses_resilience()
+        assert spec.fingerprint() == "77c684b9ac3cf4b245e879ed"
+        joined = ",".join(s.fingerprint() for s in spec.node_specs())
+        assert hashlib.sha256(joined.encode()).hexdigest() == (
+            "a0ba76a8b30f8208c150cae3bf29576cfedbe97c242f1e0cda04f92986f34082"
+        )
+        windows = [
+            (e.node, e.kind, e.start_interval, e.end_interval)
+            for e in spec.fault_schedule()
+        ]
+        assert windows == [
+            (0, "node-death", 26, 60),
+            (2, "node-death", 52, 60),
+            (7, "node-death", 56, 60),
+            (1, "straggler", 54, 60),
+            (4, "straggler", 22, 30),
+            (6, "straggler", 36, 44),
+        ]
+        assert all(
+            e.detect_interval is None for e in spec.fault_schedule()
+        )
+
+
+# ----------------------------------------------------------------------
+# lowering: clause validation and the draw-order discipline
+# ----------------------------------------------------------------------
+
+
+class TestCorrelatedClauses:
+    def test_new_kinds_validate(self):
+        for clause in CORRELATED_FAULTS:
+            parsed = FaultClause.from_params(clause)
+            assert parsed.uses_timeline()
+        wave = FaultClause.from_params(
+            {
+                "kind": "brownout-wave",
+                "probability": 1.0,
+                "factor": 0.5,
+                "duration_s": 10.0,
+            }
+        )
+        assert wave.capacity_multiplier() == 0.5
+
+    def test_legacy_clause_with_detection_uses_timeline(self):
+        clause = FaultClause.from_params(
+            {"kind": "node-death", "probability": 0.5, "detection_s": 3.0}
+        )
+        assert clause.uses_timeline()
+        plain = FaultClause.from_params(
+            {"kind": "node-death", "probability": 0.5}
+        )
+        assert not plain.uses_timeline()
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="spread"):
+            FaultClause.from_params(
+                {
+                    "kind": "cascading-straggler",
+                    "probability": 0.5,
+                    "slowdown": 2.0,
+                    "duration_s": 5.0,
+                    "spread": 1.5,
+                }
+            )
+        with pytest.raises(ValueError, match="repair_s"):
+            FaultClause.from_params(
+                {"kind": "node-death", "probability": 0.5, "repair_s": -1.0}
+            )
+        with pytest.raises(ValueError, match="detection_s"):
+            FaultClause.from_params(
+                {"kind": "node-death", "probability": 0.5, "detection_s": -2.0}
+            )
+        with pytest.raises(TypeError, match="did you mean"):
+            FaultClause.from_params(
+                {"kind": "rack-death", "probability": 0.5, "earliest": 3.0}
+            )
+
+    def test_rack_death_strikes_whole_racks(self):
+        racks = (("a", (0, 1, 2)), ("b", (3, 4, 5)))
+        events = lower_faults(
+            ({"kind": "rack-death", "probability": 1.0},),
+            seed=7,
+            n_nodes=6,
+            n_intervals=50,
+            interval_s=1.0,
+            racks=racks,
+        )
+        by_rack = {}
+        for event in events:
+            by_rack.setdefault(event.start_interval, set()).add(event.node)
+        assert set(map(frozenset, by_rack.values())) <= {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4, 5}),
+        }
+
+    def test_brownout_wave_staggers_racks_in_block_order(self):
+        racks = (("a", (0, 1)), ("b", (2, 3)))
+        events = lower_faults(
+            (
+                {
+                    "kind": "brownout-wave",
+                    "probability": 1.0,
+                    "factor": 0.5,
+                    "duration_s": 5.0,
+                    "stagger_s": 10.0,
+                    "latest_s": 5.0,
+                },
+            ),
+            seed=1,
+            n_nodes=4,
+            n_intervals=60,
+            interval_s=1.0,
+            racks=racks,
+        )
+        starts = {e.node: e.start_interval for e in events}
+        assert starts[2] - starts[0] == 10
+        assert starts[0] == starts[1] and starts[2] == starts[3]
+
+    def test_repair_bounds_the_window(self):
+        events = lower_faults(
+            (
+                {
+                    "kind": "node-death",
+                    "probability": 1.0,
+                    "latest_s": 0.0,
+                    "repair_s": 7.0,
+                    "detection_s": 2.0,
+                },
+            ),
+            seed=0,
+            n_nodes=2,
+            n_intervals=40,
+            interval_s=1.0,
+        )
+        assert len(events) == 2
+        for event in events:
+            assert event.end_interval == event.start_interval + 7
+            assert event.detect_interval == event.start_interval + 2
+
+    def test_lead_probability_never_reshuffles_the_tail_clause(self):
+        """The fixed draw budget: a leading clause consumes the same
+        variate count whether or not it fires, so editing its
+        probability never moves the trailing clause's events."""
+        tail = {
+            "kind": "cascading-straggler",
+            "probability": 0.4,
+            "slowdown": 2.0,
+            "duration_s": 8.0,
+        }
+        kwargs = dict(
+            seed=11,
+            n_nodes=6,
+            n_intervals=80,
+            interval_s=1.0,
+            racks=(("a", (0, 1, 2)), ("b", (3, 4, 5))),
+        )
+        baseline = None
+        for probability in (0.0, 0.5, 1.0):
+            lead = {"kind": "rack-death", "probability": probability}
+            combined = lower_faults((lead, tail), **kwargs)
+            tail_events = tuple(
+                e for e in combined if e.kind == "cascading-straggler"
+            )
+            if baseline is None:
+                baseline = tail_events
+            assert tail_events == baseline
+        assert baseline  # the tail clause actually fired somewhere
+
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def clause_lists(draw):
+        clauses = []
+        n = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(n):
+            kind = draw(
+                st.sampled_from(
+                    [
+                        "node-death",
+                        "degradation",
+                        "straggler",
+                        "rack-death",
+                        "cascading-straggler",
+                        "brownout-wave",
+                    ]
+                )
+            )
+            clause = {
+                "kind": kind,
+                "probability": draw(
+                    st.floats(min_value=0.0, max_value=1.0)
+                ),
+            }
+            if kind == "degradation" or kind == "brownout-wave":
+                clause["factor"] = 0.5
+            if kind in ("straggler", "cascading-straggler", "brownout-wave"):
+                clause["duration_s"] = draw(
+                    st.floats(min_value=1.0, max_value=30.0)
+                )
+            if kind in ("straggler", "cascading-straggler"):
+                clause["slowdown"] = 2.0
+            if draw(st.booleans()):
+                clause["detection_s"] = draw(
+                    st.floats(min_value=0.0, max_value=10.0)
+                )
+            clauses.append(clause)
+        return tuple(clauses)
+
+    class TestLoweringFuzz:
+        @settings(
+            max_examples=60,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(
+            clauses=clause_lists(),
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            n_nodes=st.integers(min_value=1, max_value=12),
+        )
+        def test_lowering_is_deterministic(self, clauses, seed, n_nodes):
+            racks = None
+            if n_nodes >= 2:
+                half = n_nodes // 2
+                racks = (
+                    ("a", tuple(range(half))),
+                    ("b", tuple(range(half, n_nodes))),
+                )
+            kwargs = dict(
+                seed=seed,
+                n_nodes=n_nodes,
+                n_intervals=60,
+                interval_s=1.0,
+                racks=racks,
+            )
+            first = lower_faults(clauses, **kwargs)
+            assert lower_faults(clauses, **kwargs) == first
+            for event in first:
+                assert 0 <= event.start_interval < event.end_interval <= 60
+                assert 0 <= event.node < n_nodes
+                if event.detect_interval is not None:
+                    assert (
+                        event.start_interval
+                        <= event.detect_interval
+                        <= event.end_interval
+                    )
+
+        @settings(max_examples=30, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+        def test_known_dead_is_subset_of_physically_dead(self, seed):
+            events = lower_faults(
+                CORRELATED_FAULTS,
+                seed=seed,
+                n_nodes=6,
+                n_intervals=60,
+                interval_s=1.0,
+                racks=(("a", (0, 1, 2)), ("b", (3, 4, 5))),
+            )
+            physical, known = timeline_multipliers(
+                events, n_nodes=6, n_intervals=60
+            )
+            # Wherever the balancer believes a node is dead, it is dead.
+            assert np.all(physical[known == 0.0] == 0.0)
+
+
+# ----------------------------------------------------------------------
+# the timeline split
+# ----------------------------------------------------------------------
+
+
+class TestTimelineSplit:
+    def test_undetected_death_spills_onto_survivors(self):
+        from repro.fleet.faults import FaultEvent
+
+        loads = np.full(20, 0.5)
+        capacities = np.ones(4)
+        balancer = build_balancer("round-robin", ())
+        events = (
+            FaultEvent(
+                node=0,
+                kind="node-death",
+                start_interval=5,
+                end_interval=15,
+                multiplier=0.0,
+                detect_interval=10,
+            ),
+        )
+        levels = split_with_timeline(loads, capacities, balancer, events)
+        # Before the fault: even split.
+        assert np.allclose(levels[0], 0.5)
+        # Undetected window: node0 serves nothing, its share spills
+        # uniformly onto the three survivors.
+        assert np.all(levels[5:10, 0] == 0.0)
+        assert np.allclose(levels[5:10, 1:], 0.5 + 0.5 / 3)
+        # Post-detection: the balancer re-splits over the survivors.
+        assert np.all(levels[10:15, 0] == 0.0)
+        assert np.allclose(levels[10:15, 1:], 2.0 / 3)
+        # Post-repair: back to the even split.
+        assert np.allclose(levels[15:], 0.5)
+
+    def test_total_death_raises(self):
+        from repro.fleet.faults import FaultEvent
+
+        loads = np.full(10, 0.5)
+        balancer = build_balancer("round-robin", ())
+        events = tuple(
+            FaultEvent(
+                node=node,
+                kind="node-death",
+                start_interval=2,
+                end_interval=8,
+                multiplier=0.0,
+            )
+            for node in range(2)
+        )
+        with pytest.raises(ValueError, match="kills every node"):
+            split_with_timeline(loads, np.ones(2), balancer, events)
+
+    def test_resilient_fleet_runs_serial_equals_jobs4(self):
+        spec = resilient_fleet()
+        serial = spec.run(BatchRunner(jobs=1))
+        with BatchRunner(jobs=4) as runner:
+            parallel = resilient_fleet().run(runner)
+        assert serial.render() == parallel.render()
+        assert serial.resilience_report() == parallel.resilience_report()
+
+    def test_seed_changes_the_schedule(self):
+        schedules = {
+            resilient_fleet(seed=seed).fault_schedule() for seed in range(6)
+        }
+        assert len(schedules) > 1
+
+
+# ----------------------------------------------------------------------
+# spec plumbing: topology, fingerprints, gating
+# ----------------------------------------------------------------------
+
+
+class TestSpecPlumbing:
+    def test_topology_must_sum_to_n_nodes(self):
+        with pytest.raises(ValueError, match="topology rack counts sum"):
+            plain_fleet(topology={"a": 3, "b": 3})
+        with pytest.raises(ValueError, match="positive ints"):
+            plain_fleet(topology={"a": 0, "b": 8})
+
+    def test_rack_blocks_default_and_sorted(self):
+        assert plain_fleet().rack_blocks() == (
+            ("rack0", tuple(range(8))),
+        )
+        spec = plain_fleet(topology={"zone-b": 5, "zone-a": 3})
+        assert spec.rack_blocks() == (
+            ("zone-a", (0, 1, 2)),
+            ("zone-b", (3, 4, 5, 6, 7)),
+        )
+
+    def test_topology_alone_engages_resilience(self):
+        spec = plain_fleet(topology={"a": 4, "b": 4})
+        assert spec.uses_resilience()
+        assert spec.fingerprint() != plain_fleet().fingerprint()
+
+    def test_detection_on_legacy_kind_moves_fingerprint(self):
+        base = plain_fleet(
+            faults=({"kind": "node-death", "probability": 0.3},)
+        )
+        detected = plain_fleet(
+            faults=(
+                {
+                    "kind": "node-death",
+                    "probability": 0.3,
+                    "detection_s": 5.0,
+                },
+            )
+        )
+        assert not base.uses_resilience()
+        assert detected.uses_resilience()
+        assert base.fingerprint() != detected.fingerprint()
+
+    def test_correlated_kinds_registered(self):
+        from repro.fleet import FAULT_KINDS
+
+        assert CORRELATED_KINDS <= set(FAULT_KINDS)
+
+    def test_pack_dsl_accepts_topology_and_correlated_clauses(self):
+        from repro.packs import compile_pack
+
+        pack = compile_pack(
+            {
+                "name": "drill",
+                "scenarios": [
+                    {
+                        "fleet": {
+                            "workload": "memcached",
+                            "manager": "static-big",
+                            "n_nodes": 4,
+                            "topology": {"a": 2, "b": 2},
+                            "trace": {
+                                "kind": "constant",
+                                "level": 0.5,
+                                "duration_s": 60,
+                            },
+                            "faults": [
+                                {
+                                    "kind": "rack-death",
+                                    "probability": 0.5,
+                                    "detection_s": 3,
+                                    "repair_s": 20,
+                                }
+                            ],
+                        }
+                    }
+                ],
+            }
+        )
+        pack.validate_buildable()
+        (item,) = pack.items
+        assert item.spec.uses_resilience()
+
+
+# ----------------------------------------------------------------------
+# the resilience report
+# ----------------------------------------------------------------------
+
+
+class TestResilienceReport:
+    def test_plain_fleet_has_no_report(self):
+        outcome = plain_fleet(n_nodes=3).run()
+        assert outcome.resilience_report() is None
+        assert "resilience:" not in outcome.render()
+
+    def test_report_fields_and_render(self):
+        outcome = resilient_fleet().run()
+        report = outcome.resilience_report()
+        assert report is not None
+        events = resilient_fleet().fault_schedule()
+        assert report.n_events == len(events)
+        assert report.nodes_faulted == len({e.node for e in events})
+        assert report.nodes_affected >= report.nodes_faulted
+        assert report.blast_radius == pytest.approx(
+            report.nodes_affected / report.nodes_faulted
+        )
+        assert 0.0 <= report.qos_during_faults <= 1.0
+        assert report.degradation_depth >= 0.0
+        assert report.time_to_recover_s_max >= report.time_to_recover_s_mean
+        assert report.overload_peak_level > 1.0
+        assert report.peak_tail_ratio is not None
+        rendered = outcome.render()
+        assert "resilience:" in rendered
+        assert "blast radius" in rendered
+        payload = json.dumps(report.as_dict())
+        assert "degradation_depth" in payload
+
+    def test_pack_summary_carries_resilience(self, tmp_path):
+        from repro.packs import run_pack
+
+        result = run_pack("packs/rack-outage.yaml", quick=True)
+        summary = result.summary()
+        resilient = [
+            item for item in summary["items"] if "resilience" in item
+        ]
+        assert len(resilient) == 3  # rack-outage x2 replicas + brownout
+        for item in resilient:
+            report = item["resilience"]
+            assert {
+                "blast_radius",
+                "degradation_depth",
+                "time_to_recover_s_mean",
+            } <= set(report)
+        reference = [
+            item
+            for item in summary["items"]
+            if item["key"] == "no-faults-reference"
+        ]
+        assert reference and "resilience" not in reference[0]
+        assert "blast radius" in result.render()
+
+
+# ----------------------------------------------------------------------
+# satellites: quarantine bound, env warnings, journal truncation
+# ----------------------------------------------------------------------
+
+
+class TestQuarantineBound:
+    def test_oldest_evicted_past_entry_bound(self, tmp_path):
+        cache = DiskCache(tmp_path, quarantine_max_entries=3)
+        cache.quarantine_path.mkdir(parents=True)
+        for i in range(6):
+            path = cache.quarantine_path / f"entry{i}.pkl"
+            path.write_bytes(b"x" * 10)
+            os.utime(path, (1000 + i, 1000 + i))
+        cache._bound_quarantine()
+        survivors = sorted(p.name for p in cache.quarantine_path.iterdir())
+        assert survivors == ["entry3.pkl", "entry4.pkl", "entry5.pkl"]
+        assert cache.quarantine_evictions == 3
+
+    def test_size_bound_evicts_oldest_first(self, tmp_path):
+        cache = DiskCache(tmp_path, quarantine_max_bytes=25)
+        cache.quarantine_path.mkdir(parents=True)
+        for i in range(4):
+            path = cache.quarantine_path / f"blob{i}"
+            path.write_bytes(b"y" * 10)
+            os.utime(path, (2000 + i, 2000 + i))
+        cache._bound_quarantine()
+        survivors = sorted(p.name for p in cache.quarantine_path.iterdir())
+        assert survivors == ["blob2", "blob3"]
+        assert cache.quarantine_evictions == 2
+
+    def test_quarantining_a_corrupt_entry_triggers_the_bound(
+        self, tmp_path, capsys
+    ):
+        cache = DiskCache(tmp_path, quarantine_max_entries=1)
+        cache.quarantine_path.mkdir(parents=True)
+        old = cache.quarantine_path / "ancient.pkl"
+        old.write_bytes(b"z")
+        os.utime(old, (100, 100))
+        bad = tmp_path / "corrupt.pkl"
+        bad.write_bytes(b"not a pickle")
+        cache._quarantine_file(bad)
+        assert not bad.exists()
+        names = {p.name for p in cache.quarantine_path.iterdir()}
+        assert names == {"corrupt.pkl"}
+        assert cache.quarantine_evictions == 1
+
+    def test_eviction_count_reaches_fault_line(self, tmp_path):
+        from repro.cli import render_stats
+
+        with BatchRunner(cache_dir=tmp_path) as runner:
+            runner.disk.quarantine_evictions = 4
+            lines = render_stats(runner)
+        fault_lines = [line for line in lines if line.startswith("[fault]")]
+        assert fault_lines and "4 quarantine eviction(s)" in fault_lines[0]
+
+
+class TestEnvWarnings:
+    def test_unknown_repro_var_warns_with_suggestion(
+        self, monkeypatch, capsys
+    ):
+        import repro.sim.supervise as supervise
+
+        monkeypatch.setattr(supervise, "_warned_env", set())
+        monkeypatch.setenv("REPRO_MAX_DISPATCH", "9")
+        RetryPolicy.from_env()
+        err = capsys.readouterr().err
+        assert "unrecognized REPRO_MAX_DISPATCH" in err
+        assert "did you mean 'REPRO_MAX_DISPATCHES'" in err
+
+    def test_known_vars_do_not_warn(self, monkeypatch, capsys):
+        import repro.sim.supervise as supervise
+
+        monkeypatch.setattr(supervise, "_warned_env", set())
+        monkeypatch.setenv("REPRO_MAX_DISPATCHES", "7")
+        monkeypatch.setenv("REPRO_CHAOS", "crash:0.1")
+        policy = RetryPolicy.from_env()
+        assert policy.max_dispatches == 7
+        assert "unrecognized" not in capsys.readouterr().err
+
+    def test_warns_once_per_process(self, monkeypatch, capsys):
+        import repro.sim.supervise as supervise
+
+        monkeypatch.setattr(supervise, "_warned_env", set())
+        monkeypatch.setenv("REPRO_BOGUS", "1")
+        RetryPolicy.from_env()
+        RetryPolicy.from_env()
+        assert capsys.readouterr().err.count("REPRO_BOGUS") == 1
+
+
+class TestJournalTruncation:
+    def test_truncate_empties_and_rereads_as_fresh(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = RunJournal.open(path, {"command": "all"})
+        journal.record("abc")
+        journal.record("def")
+        assert path.stat().st_size > 0
+        journal.truncate()
+        assert path.stat().st_size == 0
+        assert journal.completed == set()
+        # An empty journal reads as no journal: resume starts fresh.
+        resumed = RunJournal.open(path, {"command": "all"}, resume=True)
+        assert not resumed.resumed and resumed.completed == set()
+
+    def test_successful_cli_run_truncates_journal(self, tmp_path):
+        from repro.cli import main
+        from repro.sim.supervise import JOURNAL_NAME
+
+        code = main(
+            ["fig2", "--quick", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        journal = tmp_path / JOURNAL_NAME
+        assert journal.exists() and journal.stat().st_size == 0
+
+    def test_finish_journal_keeps_failed_runs(self, tmp_path):
+        from repro.cli import _finish_journal
+
+        runner = BatchRunner(cache_dir=tmp_path)
+        runner.journal = RunJournal.open(
+            tmp_path / "journal.log", {"command": "x"}
+        )
+        runner.journal.record("abc")
+        runner.specs_failed = 1
+        _finish_journal(runner)
+        assert (tmp_path / "journal.log").stat().st_size > 0
+        runner.specs_failed = 0
+        _finish_journal(runner)
+        assert (tmp_path / "journal.log").stat().st_size == 0
